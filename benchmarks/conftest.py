@@ -1,0 +1,270 @@
+"""Shared harness for the paper-reproduction benchmarks.
+
+Each ``benchmarks/test_fig*.py`` / ``test_table*.py`` file regenerates one
+table or figure of the paper's evaluation section.  The heavy artefacts
+(datasets, profiler measurements, baked bundles, deployment reports) are
+built lazily by the session-scoped :class:`ReproductionHarness` and shared
+across benchmark files, so the whole suite stays tractable on a laptop.
+
+Runtime control:
+
+* by default a representative subset of the simulated scenes is used
+  (scenes 1 and 4, plus scene 3 for the FPS figure);
+* set ``REPRO_FULL=1`` to sweep all four simulated scenes as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlockNeRFBaseline,
+    MipNeRF360Emulator,
+    NGPEmulator,
+    SingleNeRFBaseline,
+)
+from repro.core.pipeline import (
+    NeRFlexPipeline,
+    PipelineConfig,
+    evaluate_baked_deployment,
+)
+from repro.baking.renderer import render_baked_multi
+from repro.core.selector import NeRFlexDPSelector
+from repro.core.selector_baselines import FairnessSelector, SLSQPSelector
+from repro.device.models import DeviceProfile, IPHONE_13, PIXEL_4
+from repro.metrics import lpips_proxy, ssim
+from repro.scenes.dataset import generate_dataset
+from repro.scenes.library import make_realworld_scene, make_simulated_scene
+from repro.scenes.raytrace import render_field
+from repro.utils.image import bbox_from_mask, crop_to_bbox
+
+#: Image resolution of the generated datasets (training and scene-level test
+#: views).  The paper renders at ~800 px on-device; this reproduction scores
+#: at a lower resolution, which rescales the useful patch-size range (see
+#: EXPERIMENTS.md).
+DATASET_RESOLUTION = 128
+NUM_TRAIN_VIEWS = 6
+NUM_TEST_VIEWS = 2
+
+FULL_SWEEP = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+#: Simulated scenes used by the overall-performance benchmarks.  The default
+#: single-scene subset keeps the suite tractable on one CPU core; set
+#: REPRO_FULL=1 to sweep all four scenes as in the paper.
+SCENE_INDICES = (1, 2, 3, 4) if FULL_SWEEP else (4,)
+
+#: A "device" with effectively unlimited memory, used to score the quality of
+#: representations that cannot load on either handset (the paper likewise
+#: reports Block-NeRF's quality even though it never runs on a phone).
+WORKSTATION = DeviceProfile(
+    name="Workstation",
+    memory_budget_mb=1e6,
+    hard_memory_limit_mb=1e6,
+    compute_score=20.0,
+)
+
+DEVICES = {"iPhone 13": IPHONE_13, "Pixel 4": PIXEL_4, "Workstation": WORKSTATION}
+
+SELECTORS = {
+    "Ours (DP)": lambda: NeRFlexDPSelector(),
+    "Fairness": lambda: FairnessSelector(),
+    "SLSQP": lambda: SLSQPSelector(),
+}
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Print a reproduction table in a compact, paper-like format."""
+    print()
+    print(f"=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+class ReproductionHarness:
+    """Lazy, memoised builder of every artefact the benchmarks need."""
+
+    def __init__(self) -> None:
+        self._datasets: dict = {}
+        self._measurement_caches: dict = {}
+        self._nerflex_runs: dict = {}
+        self._single_models: dict = {}
+        self._block_models: dict = {}
+        self._baked_reports: dict = {}
+        self._field_reports: dict = {}
+
+    # -- datasets -----------------------------------------------------------
+
+    def dataset(self, scene_key: str):
+        """Dataset for ``"scene1"``..``"scene4"`` or ``"realworld"``."""
+        if scene_key not in self._datasets:
+            if scene_key == "realworld":
+                scene = make_realworld_scene(seed=0)
+                self._datasets[scene_key] = generate_dataset(
+                    scene,
+                    num_train=NUM_TRAIN_VIEWS,
+                    num_test=NUM_TEST_VIEWS,
+                    resolution=DATASET_RESOLUTION,
+                    trajectory="forward",
+                    name=scene_key,
+                )
+            else:
+                index = int(scene_key.replace("scene", ""))
+                scene = make_simulated_scene(index, seed=0)
+                self._datasets[scene_key] = generate_dataset(
+                    scene,
+                    num_train=NUM_TRAIN_VIEWS,
+                    num_test=NUM_TEST_VIEWS,
+                    resolution=DATASET_RESOLUTION,
+                    name=scene_key,
+                )
+        return self._datasets[scene_key]
+
+    def cache(self, scene_key: str) -> dict:
+        """Per-scene measurement cache shared across devices and selectors."""
+        return self._measurement_caches.setdefault(scene_key, {})
+
+    # -- NeRFlex ------------------------------------------------------------
+
+    def nerflex(self, scene_key: str, device_name: str, selector_name: str = "Ours (DP)"):
+        """Run (and memoise) the NeRFlex pipeline for one configuration.
+
+        Returns ``(preparation, multi_model, report)``.
+        """
+        key = (scene_key, device_name, selector_name)
+        if key not in self._nerflex_runs:
+            dataset = self.dataset(scene_key)
+            pipeline = NeRFlexPipeline(
+                DEVICES[device_name],
+                PipelineConfig(),
+                selector=SELECTORS[selector_name](),
+                measurement_cache=self.cache(scene_key),
+            )
+            self._nerflex_runs[key] = pipeline.run(dataset)
+        return self._nerflex_runs[key]
+
+    def nerflex_report(self, scene_key: str, device_name: str, selector_name: str = "Ours (DP)"):
+        return self.nerflex(scene_key, device_name, selector_name)[2]
+
+    # -- baselines ----------------------------------------------------------
+
+    def single_model(self, scene_key: str):
+        if scene_key not in self._single_models:
+            self._single_models[scene_key] = SingleNeRFBaseline().bake(self.dataset(scene_key))
+        return self._single_models[scene_key]
+
+    def block_model(self, scene_key: str):
+        if scene_key not in self._block_models:
+            self._block_models[scene_key] = BlockNeRFBaseline().bake(self.dataset(scene_key))
+        return self._block_models[scene_key]
+
+    def baked_report(self, method: str, scene_key: str, device_name: str):
+        """Deployment report of a fixed-configuration baseline on a device."""
+        key = (method, scene_key, device_name)
+        if key not in self._baked_reports:
+            if method == "single":
+                model = self.single_model(scene_key)
+                label = SingleNeRFBaseline.method_name
+            elif method == "block":
+                model = self.block_model(scene_key)
+                label = BlockNeRFBaseline.method_name
+            else:
+                raise ValueError(f"unknown baked baseline {method!r}")
+            self._baked_reports[key] = evaluate_baked_deployment(
+                model,
+                self.dataset(scene_key),
+                DEVICES[device_name],
+                method=label,
+                num_eval_views=NUM_TEST_VIEWS,
+                gt_cache=self.cache(scene_key),
+            )
+        return self._baked_reports[key]
+
+    def field_report(self, method: str, scene_key: str):
+        """Quality report of a workstation-class baseline (NGP / Mip-NeRF 360)."""
+        key = (method, scene_key)
+        if key not in self._field_reports:
+            emulator = NGPEmulator() if method == "ngp" else MipNeRF360Emulator()
+            self._field_reports[key] = emulator.run(
+                self.dataset(scene_key), num_eval_views=NUM_TEST_VIEWS
+            )
+        return self._field_reports[key]
+
+    # -- detail-region quality ------------------------------------------------
+
+    def detail_region_metrics(self, scene_key: str, method: str) -> dict:
+        """Quality over the high-frequency detail region (foreground objects).
+
+        Fig. 4 reports SSIM "for the high-frequency detail region"; for the
+        real-world style scene this is the union of the foreground objects'
+        pixels (the procedural backdrop is excluded).  Each method's output
+        is re-rendered on the held-out test views and scored against ground
+        truth inside that region (LPIPS is computed on the region's bounding
+        box crop).
+        """
+        key = ("detail", scene_key, method)
+        if key in self._field_reports:
+            return self._field_reports[key]
+        dataset = self.dataset(scene_key)
+        foreground_ids = [
+            placed.instance_id
+            for placed in dataset.scene.placed
+            if placed.instance_name != "backdrop"
+        ]
+        background = dataset.scene.background_color
+
+        def rendered_view(camera):
+            if method == "nerflex":
+                model = self.nerflex(scene_key, "iPhone 13")[1]
+                return render_baked_multi(model, camera, background=background)
+            if method == "single":
+                return render_baked_multi(self.single_model(scene_key), camera, background=background)
+            if method == "block":
+                return render_baked_multi(self.block_model(scene_key), camera, background=background)
+            emulator = NGPEmulator() if method == "ngp" else MipNeRF360Emulator()
+            field = emulator.build_field(dataset)
+            return render_field(field, camera, background=background)
+
+        ssim_scores, psnr_scores, lpips_scores = [], [], []
+        for view, camera in zip(dataset.test_views[:NUM_TEST_VIEWS], dataset.test_cameras):
+            rendered = rendered_view(camera)
+            mask = np.isin(view.object_ids, foreground_ids)
+            if mask.sum() < 64:
+                continue
+            ssim_scores.append(ssim(view.rgb, rendered.rgb, mask=mask))
+            mse = float(np.mean((view.rgb[mask] - rendered.rgb[mask]) ** 2))
+            psnr_scores.append(10.0 * np.log10(1.0 / max(mse, 1e-12)))
+            bbox = bbox_from_mask(mask, margin=4)
+            lpips_scores.append(
+                lpips_proxy(crop_to_bbox(view.rgb, bbox), crop_to_bbox(rendered.rgb, bbox))
+            )
+        result = {
+            "ssim": float(np.mean(ssim_scores)),
+            "psnr": float(np.mean(psnr_scores)),
+            "lpips": float(np.mean(lpips_scores)),
+        }
+        self._field_reports[key] = result
+        return result
+
+    # -- aggregates ---------------------------------------------------------
+
+    @staticmethod
+    def mean_object_quality(report) -> float:
+        """Mean per-object SSIM of a deployment (the Fig. 7 metric)."""
+        values = list(report.per_object_ssim.values())
+        return float(np.mean(values)) if values else 0.0
+
+
+@pytest.fixture(scope="session")
+def harness() -> ReproductionHarness:
+    return ReproductionHarness()

@@ -1,0 +1,149 @@
+"""Figure 3 + profiler error analysis: white-box profiling model validation.
+
+Reproduces the four sub-plots of Fig. 3 — rendering quality and baked data
+size versus the mesh-granularity knob (at a fixed patch size) and versus the
+patch-size knob (at a fixed granularity), each compared against the fitted
+white-box model — plus the paper's error analysis over held-out
+configuration pairs (paper: mean SSIM error 0.0065, mean size error 3.34 MB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baking import bake_field, render_baked
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.profiler import ProfileFitter, profile_error_analysis
+from repro.metrics import ssim
+from repro.scenes.cameras import orbit_cameras
+from repro.scenes.library import make_single_object_scene
+from repro.scenes.raytrace import render_scene
+
+#: Configuration space swept for the figure (the paper sweeps g in [20, 120]
+#: and p in [5, 41] at ~800 px; the patch range is rescaled to this
+#: reproduction's render resolution).
+SPACE = ConfigurationSpace(granularities=(16, 24, 32, 48, 64, 96), patch_sizes=(1, 2, 3, 4, 6))
+FIXED_PATCH = 2
+FIXED_GRANULARITY = 32
+PROFILE_RESOLUTION = 160
+
+
+@pytest.fixture(scope="module")
+def profiled_object():
+    """Measurements, fitted profile and sweep data for one reference object."""
+    scene = make_single_object_scene("lego")
+    camera = orbit_cameras(
+        scene.center,
+        radius=1.25 * scene.extent,
+        count=1,
+        elevation_deg=30.0,
+        width=PROFILE_RESOLUTION,
+        height=PROFILE_RESOLUTION,
+    )[0]
+    reference = render_scene(scene, camera)
+    cache: dict = {}
+
+    def measure(config: Configuration):
+        key = config.as_tuple()
+        if key not in cache:
+            baked = bake_field(scene, config.granularity, config.patch_size, name="lego")
+            rendered = render_baked(baked, camera)
+            cache[key] = (ssim(reference.rgb, rendered.rgb), baked.size_mb())
+        return cache[key]
+
+    profile = ProfileFitter(SPACE).fit("lego", measure)
+    return {"measure": measure, "profile": profile}
+
+
+def test_fig3_quality_and_size_curves(profiled_object, benchmark):
+    measure = profiled_object["measure"]
+    profile = profiled_object["profile"]
+
+    # (a)/(b): sweep granularity at the fixed patch size.
+    g_rows = []
+    g_quality, g_size = [], []
+    for g in SPACE.granularities:
+        config = Configuration(g, FIXED_PATCH)
+        quality, size = measure(config)
+        g_quality.append(quality)
+        g_size.append(size)
+        g_rows.append(
+            [
+                g,
+                round(quality, 4),
+                round(profile.predict_quality(config), 4),
+                round(size, 1),
+                round(profile.predict_size(config), 1),
+            ]
+        )
+    print_table(
+        f"Fig. 3(a,b): sweep over mesh granularity g (patch size p={FIXED_PATCH})",
+        ["g", "SSIM measured", "SSIM fitted", "size MB measured", "size MB fitted"],
+        g_rows,
+    )
+
+    # (c)/(d): sweep patch size at the fixed granularity.
+    p_rows = []
+    p_quality, p_size = [], []
+    for p in SPACE.patch_sizes:
+        config = Configuration(FIXED_GRANULARITY, p)
+        quality, size = measure(config)
+        p_quality.append(quality)
+        p_size.append(size)
+        p_rows.append(
+            [
+                p,
+                round(quality, 4),
+                round(profile.predict_quality(config), 4),
+                round(size, 2),
+                round(profile.predict_size(config), 2),
+            ]
+        )
+    print_table(
+        f"Fig. 3(c,d): sweep over patch size p (mesh granularity g={FIXED_GRANULARITY})",
+        ["p", "SSIM measured", "SSIM fitted", "size MB measured", "size MB fitted"],
+        p_rows,
+    )
+
+    # Shape assertions: quality saturates upward in g, size grows in both knobs.
+    assert g_quality[-1] > g_quality[0] + 0.05
+    assert g_quality[-1] - g_quality[-2] < g_quality[1] - g_quality[0] + 0.05
+    assert all(b > a for a, b in zip(g_size, g_size[1:]))
+    assert p_quality[-1] >= p_quality[0] - 0.01
+    assert all(b > a for a, b in zip(p_size, p_size[1:]))
+
+    # Benchmark the profiler fit itself (the lightweight step the paper times).
+    fitter = ProfileFitter(SPACE)
+    benchmark(lambda: fitter.fit("lego", measure))
+
+
+def test_fig3_error_analysis(profiled_object, benchmark):
+    """Prediction error over held-out configurations (paper Table in §III-B)."""
+    measure = profiled_object["measure"]
+    profile = profiled_object["profile"]
+    held_out = [
+        Configuration(g, p)
+        for g in (24, 48, 96)
+        for p in (1, 3, 6)
+        if Configuration(g, p) not in profile.measurements
+    ]
+    analysis = benchmark.pedantic(
+        lambda: profile_error_analysis(profile, measure, held_out), rounds=1, iterations=1
+    )
+    print_table(
+        "Profiler error analysis (paper: SSIM err 0.0065 +/- 0.0088, size err 3.34 +/- 2.73 MB)",
+        ["held-out configs", "SSIM mean err", "SSIM std", "size mean err (MB)", "size std"],
+        [
+            [
+                analysis["num_configs"],
+                round(analysis["quality_mean_error"], 4),
+                round(analysis["quality_std_error"], 4),
+                round(analysis["size_mean_error"], 2),
+                round(analysis["size_std_error"], 2),
+            ]
+        ],
+    )
+    assert analysis["quality_mean_error"] < 0.05
+    assert analysis["size_mean_error"] < 8.0

@@ -1,0 +1,65 @@
+"""Train a numpy NeRF from images, then bake and render it.
+
+This example exercises the learning substrate directly (no degradation
+model): a small radiance field is trained on posed images of a procedural
+object with the classic photometric objective, distilled into an SDF +
+albedo field, baked into the mesh/texture representation at two different
+configurations, and compared against ground truth — showing the
+quality-versus-size trade-off that NeRFlex's profiler models.
+
+Run with:  python examples/train_and_bake_nerf.py   (takes a minute or two)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baking import bake_field, render_baked
+from repro.metrics import psnr, ssim
+from repro.nerf import train_distilled_field, train_nerf_from_images, volume_render_field
+from repro.scenes.cameras import orbit_cameras
+from repro.scenes.library import make_single_object_scene
+from repro.scenes.raytrace import render_scene
+
+
+def main() -> None:
+    scene = make_single_object_scene("torus")
+    cameras = orbit_cameras(scene.center, radius=1.35 * scene.extent, count=6, width=48, height=48)
+    views = [render_scene(scene, camera) for camera in cameras]
+    test_camera = orbit_cameras(
+        scene.center, radius=1.35 * scene.extent, count=1, elevation_deg=40.0, width=96, height=96
+    )[0]
+    reference = render_scene(scene, test_camera)
+
+    # 1. Classic NeRF training from images (photometric loss, manual gradients).
+    print("Training an image-based NeRF (numpy MLP)...")
+    nerf, log = train_nerf_from_images(
+        views, cameras, scene.bounds_min, scene.bounds_max,
+        num_iterations=250, rays_per_batch=192, num_samples=32, seed=0,
+    )
+    print(f"  photometric loss: {log.initial_loss:.4f} -> {log.final_loss:.4f}")
+    rendered = volume_render_field(nerf, test_camera, num_samples=96)
+    print(f"  volume-rendered novel view vs ground truth: SSIM {ssim(reference.rgb, rendered.rgb):.3f}")
+
+    # 2. Distillation training (fast path used when the target field is known).
+    print("\nDistilling the analytic field into an MLP field...")
+    distilled, dist_log = train_distilled_field(scene, num_iterations=400, batch_size=1024, seed=0)
+    print(f"  distillation loss: {dist_log.initial_loss:.4f} -> {dist_log.final_loss:.4f}")
+
+    # 3. Bake the distilled field at two configurations and compare.
+    print("\nBaking the distilled field (the mobile-ready representation):")
+    for granularity, patch in [(24, 2), (56, 3)]:
+        baked = bake_field(distilled, granularity, patch, name=f"torus_g{granularity}")
+        view = render_baked(baked, test_camera)
+        print(
+            f"  (g={granularity:3d}, p={patch})  size {baked.size_mb():6.2f} MB, "
+            f"{baked.num_faces:6d} faces | SSIM {ssim(reference.rgb, view.rgb):.3f}, "
+            f"PSNR {psnr(reference.rgb, view.rgb):.1f} dB"
+        )
+
+    print("\nHigher granularity costs more memory and buys more quality — the")
+    print("trade-off NeRFlex's profiler predicts and its DP selector optimises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Mesh-based NeRF baking substrate.
+
+Mesh-assisted mobile NeRF renderers (MobileNeRF, NeRF2Mesh) convert a trained
+radiance field into (a) a voxel-grid-derived quad mesh and (b) texture
+patches of ``p x p`` texels per quad face, which a rasteriser then renders in
+real time.  NeRFlex's two configuration knobs are exactly this substrate's
+parameters: the per-axis voxel granularity ``g`` and the texture patch size
+``p``.
+
+This package implements that pipeline from scratch on numpy:
+
+* :mod:`repro.baking.voxelize` — sample a field's SDF onto a ``g^3`` grid;
+* :mod:`repro.baking.meshing`  — extract boundary quad faces;
+* :mod:`repro.baking.texture`  — bake ``p x p`` texture patches per face
+  (materialised or lazily evaluated);
+* :mod:`repro.baking.baked_model` — the baked representation, its byte-level
+  size accounting and the :func:`bake_field` entry point;
+* :mod:`repro.baking.renderer` — a grid ray-marcher that renders baked
+  models (and composites several of them, as the multi-NeRF player does).
+"""
+
+from repro.baking.voxelize import VoxelGrid, voxelize_field
+from repro.baking.meshing import QuadFaceSet, extract_quad_faces
+from repro.baking.texture import TextureAtlas, LazyTexture, bake_texture_atlas
+from repro.baking.baked_model import (
+    BakedSubModel,
+    BakedMultiModel,
+    SizeConstants,
+    bake_field,
+)
+from repro.baking.renderer import render_baked, render_baked_multi
+
+__all__ = [
+    "VoxelGrid",
+    "voxelize_field",
+    "QuadFaceSet",
+    "extract_quad_faces",
+    "TextureAtlas",
+    "LazyTexture",
+    "bake_texture_atlas",
+    "BakedSubModel",
+    "BakedMultiModel",
+    "SizeConstants",
+    "bake_field",
+    "render_baked",
+    "render_baked_multi",
+]

@@ -1,0 +1,130 @@
+"""Voxelisation of a field onto a cubic ``g^3`` occupancy grid.
+
+The mesh-granularity knob ``g`` of NeRFlex is the number of voxels allocated
+per axis.  Voxelisation pads the field's bounding box to a cube (so voxels
+are cubic), samples the signed distance at every cell centre and marks cells
+with non-positive distance as occupied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class VoxelGrid:
+    """A cubic occupancy grid.
+
+    Attributes:
+        origin: world position of the grid's minimum corner.
+        voxel_size: edge length of one (cubic) voxel.
+        resolution: number of voxels per axis (``g``).
+        occupancy: ``(g, g, g)`` boolean array, indexed ``[ix, iy, iz]``.
+    """
+
+    origin: np.ndarray
+    voxel_size: float
+    resolution: int
+    occupancy: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        self.occupancy = np.asarray(self.occupancy, dtype=bool)
+        expected = (self.resolution,) * 3
+        if self.occupancy.shape != expected:
+            raise ValueError(
+                f"occupancy shape {self.occupancy.shape} does not match resolution {expected}"
+            )
+
+    @property
+    def bounds_min(self) -> np.ndarray:
+        return self.origin
+
+    @property
+    def bounds_max(self) -> np.ndarray:
+        return self.origin + self.voxel_size * self.resolution
+
+    @property
+    def num_occupied(self) -> int:
+        return int(self.occupancy.sum())
+
+    def cell_centers(self, indices: np.ndarray) -> np.ndarray:
+        """World-space centres of the voxels at the given ``(N, 3)`` indices."""
+        indices = np.asarray(indices, dtype=np.float64)
+        return self.origin + (indices + 0.5) * self.voxel_size
+
+    def world_to_index(self, points: np.ndarray) -> np.ndarray:
+        """Integer voxel indices containing the given world points."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.floor((points - self.origin) / self.voxel_size).astype(int)
+
+    def contains_index(self, indices: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of the ``(N, 3)`` indices lie inside the grid."""
+        indices = np.asarray(indices)
+        return np.all((indices >= 0) & (indices < self.resolution), axis=-1)
+
+    def occupied_at(self, indices: np.ndarray) -> np.ndarray:
+        """Occupancy lookup with out-of-grid indices treated as empty."""
+        indices = np.asarray(indices)
+        inside = self.contains_index(indices)
+        clipped = np.clip(indices, 0, self.resolution - 1)
+        values = self.occupancy[clipped[..., 0], clipped[..., 1], clipped[..., 2]]
+        return values & inside
+
+
+def _cubic_bounds(bounds_min: np.ndarray, bounds_max: np.ndarray, padding: float) -> tuple:
+    """Pad an AABB to a cube (equal side lengths, shared centre)."""
+    bounds_min = np.asarray(bounds_min, dtype=np.float64)
+    bounds_max = np.asarray(bounds_max, dtype=np.float64)
+    center = 0.5 * (bounds_min + bounds_max)
+    side = float(np.max(bounds_max - bounds_min)) * (1.0 + padding)
+    if side <= 0:
+        raise ValueError("field has a degenerate bounding box")
+    half = 0.5 * side
+    return center - half, center + half
+
+
+def voxelize_field(
+    field,
+    resolution: int,
+    padding: float = 0.06,
+    occupancy_threshold: float = 0.0,
+    chunk_size: int = 262144,
+) -> VoxelGrid:
+    """Sample a field's SDF onto a cubic occupancy grid.
+
+    Args:
+        field: any object with ``sdf(points)`` and ``bounds_min``/``bounds_max``
+            (a :class:`~repro.scenes.scene.Scene`, a placed object, or a
+            trained/degraded radiance field).
+        resolution: the mesh-granularity knob ``g`` (voxels per axis).
+        padding: fractional padding added around the field bounds.
+        occupancy_threshold: cells with ``sdf <= threshold`` are occupied; a
+            small positive value makes voxelisation slightly conservative so
+            thin structures survive at low ``g``.
+        chunk_size: number of cell centres evaluated per SDF call (bounds the
+            peak memory of the field evaluation).
+    """
+    if resolution < 2:
+        raise ValueError("voxel resolution must be at least 2")
+    lo, hi = _cubic_bounds(field.bounds_min, field.bounds_max, padding)
+    voxel_size = float((hi - lo)[0]) / resolution
+
+    coords = (np.arange(resolution) + 0.5) * voxel_size
+    grid_x, grid_y, grid_z = np.meshgrid(coords, coords, coords, indexing="ij")
+    centers = np.stack([grid_x, grid_y, grid_z], axis=-1).reshape(-1, 3) + lo
+
+    occupancy = np.zeros(centers.shape[0], dtype=bool)
+    threshold = float(occupancy_threshold)
+    for start in range(0, centers.shape[0], chunk_size):
+        stop = start + chunk_size
+        occupancy[start:stop] = field.sdf(centers[start:stop]) <= threshold
+
+    return VoxelGrid(
+        origin=lo,
+        voxel_size=voxel_size,
+        resolution=int(resolution),
+        occupancy=occupancy.reshape(resolution, resolution, resolution),
+    )

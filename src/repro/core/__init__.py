@@ -1,0 +1,53 @@
+"""NeRFlex core: the paper's primary contribution.
+
+* :mod:`repro.core.frequency`    — detail-frequency analysis of objects in
+  training images (the importance signal of the segmentation module);
+* :mod:`repro.core.segmentation` — detail-based segmentation: which objects
+  get a dedicated NeRF, plus crop-and-enlarge training-set construction;
+* :mod:`repro.core.config_space` — the ``(g, p)`` configuration space;
+* :mod:`repro.core.profiler`     — lightweight white-box models mapping a
+  configuration to rendering quality (SSIM) and baked data size;
+* :mod:`repro.core.selector`     — the dynamic-programming multiple-choice
+  knapsack configuration selector (Algorithm 1);
+* :mod:`repro.core.selector_baselines` — Fairness, SLSQP, greedy and
+  brute-force selectors used for comparison;
+* :mod:`repro.core.pipeline`     — the end-to-end NeRFlex pipeline
+  (segment -> profile -> select -> bake -> deploy).
+"""
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.frequency import detail_frequency, spectral_residual_saliency
+from repro.core.profiler import ObjectProfile, ProfileFitter, QualityModel, SizeModel
+from repro.core.segmentation import DetailBasedSegmenter, SegmentationResult, SubScene
+from repro.core.selector import ExactMCKSelector, NeRFlexDPSelector, SelectionResult
+from repro.core.selector_baselines import (
+    BruteForceSelector,
+    FairnessSelector,
+    GreedySelector,
+    SLSQPSelector,
+)
+from repro.core.pipeline import DeploymentReport, NeRFlexPipeline, PipelineConfig
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "detail_frequency",
+    "spectral_residual_saliency",
+    "ObjectProfile",
+    "ProfileFitter",
+    "QualityModel",
+    "SizeModel",
+    "DetailBasedSegmenter",
+    "SegmentationResult",
+    "SubScene",
+    "ExactMCKSelector",
+    "NeRFlexDPSelector",
+    "SelectionResult",
+    "BruteForceSelector",
+    "FairnessSelector",
+    "GreedySelector",
+    "SLSQPSelector",
+    "DeploymentReport",
+    "NeRFlexPipeline",
+    "PipelineConfig",
+]

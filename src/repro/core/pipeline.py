@@ -1,0 +1,487 @@
+"""The end-to-end NeRFlex pipeline.
+
+``segment -> profile -> select -> bake -> deploy``:
+
+1. the **segmentation** module decides which objects get dedicated NeRFs and
+   constructs their enlarged training sets;
+2. the **profiler** fits, per sub-scene, white-box models mapping a
+   configuration ``(g, p)`` to rendering quality and baked size, by baking
+   and scoring a handful of sample configurations;
+3. the **selector** (the DP of Algorithm 1 by default) picks one
+   configuration per sub-scene under the target device's memory budget;
+4. each sub-scene's field is **baked** at its selected configuration;
+5. the resulting multi-NeRF bundle is **deployed** to the device simulator,
+   which reports data size, rendering quality against ground truth and an
+   FPS trace.
+
+The wall-clock split across segmentation / profiler / solver is recorded for
+the overhead analysis (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baking.baked_model import (
+    BakedMultiModel,
+    DEFAULT_SIZE_CONSTANTS,
+    SizeConstants,
+    bake_field,
+)
+from repro.baking.renderer import render_baked_multi
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.profiler import ObjectProfile, ProfileFitter
+from repro.core.segmentation import DetailBasedSegmenter, SegmentationResult, SubScene
+from repro.core.selector import NeRFlexDPSelector, SelectionResult
+from repro.device.memory import MemoryModel
+from repro.device.models import DeviceProfile
+from repro.device.render_sim import RenderSimulator
+from repro.metrics import lpips_proxy, psnr, ssim
+from repro.metrics.fps import FPSTrace
+from repro.nerf.degradation import DegradedField, coverage_detail_scale
+from repro.scenes.cameras import orbit_cameras
+from repro.scenes.raytrace import render_scene
+from repro.utils.timing import StageTimer
+
+
+@dataclass
+class PipelineConfig:
+    """Tunable parameters of the NeRFlex pipeline.
+
+    Attributes:
+        config_space: per-object configuration space searched by the selector.
+        profile_resolution: image resolution used for profiler measurements.
+        num_profile_views: views rendered per profiler measurement.
+        num_eval_views: held-out test views scored at deployment time.
+        frequency_threshold: segmentation threshold (``None`` = the paper's
+            setting: the lowest maximum frequency among detected objects).
+        apply_degradation: model the training-coverage degradation of each
+            sub-scene's field (see :mod:`repro.nerf.degradation`).
+        size_constants: byte-cost constants of the baked representation.
+        num_fps_frames: length of the simulated FPS trace.
+        materialize_textures: bake full texture atlases (slower, only needed
+            when the atlas itself is inspected).
+        selector_safety_margin: fraction of the device budget held back from
+            the selector to absorb profiler prediction error (the baked data
+            must actually load on the device, not just be predicted to).
+        object_eval_resolution: resolution of the per-object close-up views
+            used for per-object quality scores.
+        seed: seed for the degradation noise and the FPS simulation.
+    """
+
+    config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
+    profile_resolution: int = 160
+    num_profile_views: int = 1
+    num_eval_views: int = 2
+    frequency_threshold: "float | None" = None
+    apply_degradation: bool = True
+    size_constants: SizeConstants = field(default_factory=lambda: DEFAULT_SIZE_CONSTANTS)
+    num_fps_frames: int = 2000
+    materialize_textures: bool = False
+    selector_safety_margin: float = 0.04
+    object_eval_resolution: int = 176
+    seed: int = 0
+
+
+@dataclass
+class PreparationResult:
+    """Everything produced by the cloud-side preparation stage."""
+
+    segmentation: SegmentationResult
+    profiles: list
+    selection: SelectionResult
+    timers: StageTimer
+    fields: dict
+    truths: dict
+
+    @property
+    def overhead_seconds(self) -> dict:
+        """Wall-clock split across segmentation / profiler / solver (Fig. 9)."""
+        return self.timers.as_dict()
+
+
+@dataclass
+class DeploymentReport:
+    """Evaluation of one deployment (method x scene x device).
+
+    Quality metrics are computed against the ground-truth test renders of the
+    full scene; ``per_object_ssim`` restricts SSIM to each object's pixels.
+    """
+
+    method: str
+    device_name: str
+    size_mb: float
+    per_object_size_mb: dict
+    loaded: bool
+    ssim: float
+    psnr: float
+    lpips: float
+    per_object_ssim: dict
+    fps_trace: FPSTrace
+    num_submodels: int = 1
+    selection: "SelectionResult | None" = None
+    overhead_seconds: dict = field(default_factory=dict)
+
+    @property
+    def average_fps(self) -> float:
+        return self.fps_trace.average
+
+    def describe(self) -> dict:
+        return {
+            "method": self.method,
+            "device": self.device_name,
+            "size_mb": round(self.size_mb, 1),
+            "loaded": self.loaded,
+            "ssim": round(self.ssim, 4),
+            "psnr": round(self.psnr, 2),
+            "lpips": round(self.lpips, 4),
+            "average_fps": round(self.average_fps, 1),
+            "per_object_ssim": {k: round(v, 4) for k, v in self.per_object_ssim.items()},
+            "per_object_size_mb": {
+                k: round(v, 1) for k, v in self.per_object_size_mb.items()
+            },
+        }
+
+
+def object_evaluation_cameras(dataset, resolution: int = 128) -> dict:
+    """One close-up evaluation camera per object instance.
+
+    Per-object quality (Fig. 8a) is scored from an object-centred viewpoint
+    so that the configuration chosen for that object's NeRF actually shows
+    up in the measurement (from a far scene-level view every configuration
+    above a low floor looks identical).
+    """
+    cameras = {}
+    for placed in dataset.scene.placed:
+        extent = float(np.max(placed.bounds_max - placed.bounds_min))
+        center = 0.5 * (placed.bounds_min + placed.bounds_max)
+        cameras[placed.instance_name] = orbit_cameras(
+            center,
+            radius=1.25 * extent,
+            count=1,
+            elevation_deg=28.0,
+            width=resolution,
+            height=resolution,
+        )[0]
+    return cameras
+
+
+def evaluate_baked_deployment(
+    multi_model: BakedMultiModel,
+    dataset,
+    device: DeviceProfile,
+    method: str,
+    num_eval_views: int = 2,
+    num_fps_frames: int = 2000,
+    seed: int = 0,
+    selection: "SelectionResult | None" = None,
+    overhead_seconds: "dict | None" = None,
+    object_eval_resolution: int = 176,
+    gt_cache: "dict | None" = None,
+) -> DeploymentReport:
+    """Score a baked multi-NeRF bundle on a dataset and device.
+
+    Shared by the NeRFlex pipeline and the Single-NeRF / Block-NeRF
+    baselines so every method is evaluated identically.  Scene-level
+    quality (SSIM / PSNR / LPIPS) is computed on the dataset's held-out test
+    views; per-object quality is computed from object-centred close-up
+    views.  ``gt_cache`` (optional, shared across methods) avoids
+    re-rendering the ground-truth close-ups for every method.
+    """
+    size_mb = multi_model.size_mb()
+    per_object_size = {model.name: model.size_mb() for model in multi_model.submodels}
+
+    memory = MemoryModel(device)
+    outcome = memory.try_load(size_mb)
+    fps_trace = RenderSimulator(device=device, seed=seed).simulate(
+        size_mb=size_mb,
+        num_submodels=multi_model.num_submodels,
+        num_frames=num_fps_frames,
+    )
+
+    views = dataset.test_views[: max(num_eval_views, 1)]
+    ssim_scores, psnr_scores, lpips_scores = [], [], []
+    per_object_ssim: dict = {}
+    if outcome.loaded:
+        for view, camera in zip(views, dataset.test_cameras):
+            rendered = render_baked_multi(
+                multi_model, camera, background=dataset.scene.background_color
+            )
+            ssim_scores.append(ssim(view.rgb, rendered.rgb))
+            psnr_scores.append(psnr(view.rgb, rendered.rgb))
+            lpips_scores.append(lpips_proxy(view.rgb, rendered.rgb))
+
+        cache = gt_cache if gt_cache is not None else {}
+        cameras = object_evaluation_cameras(dataset, resolution=object_eval_resolution)
+        for placed in dataset.scene.placed:
+            name = placed.instance_name
+            camera = cameras[name]
+            gt_key = (dataset.name, name, object_eval_resolution)
+            if gt_key not in cache:
+                cache[gt_key] = render_scene(dataset.scene, camera)
+            reference = cache[gt_key]
+            # Only sub-models whose grid lies near the object can appear in
+            # its close-up view; skipping the rest keeps evaluation cheap.
+            target_center = 0.5 * (placed.bounds_min + placed.bounds_max)
+            target_extent = float(np.max(placed.bounds_max - placed.bounds_min))
+            nearby = []
+            for submodel in multi_model.submodels:
+                grid_center = 0.5 * (submodel.grid.bounds_min + submodel.grid.bounds_max)
+                grid_radius = 0.5 * np.linalg.norm(
+                    submodel.grid.bounds_max - submodel.grid.bounds_min
+                )
+                if np.linalg.norm(grid_center - target_center) <= grid_radius + 2.0 * target_extent:
+                    nearby.append(submodel)
+            rendered = render_baked_multi(
+                BakedMultiModel(nearby) if nearby else multi_model,
+                camera,
+                background=dataset.scene.background_color,
+            )
+            if reference.object_mask(placed.instance_id).sum() < 16:
+                continue
+            per_object_ssim[name] = float(ssim(reference.rgb, rendered.rgb))
+    return DeploymentReport(
+        method=method,
+        device_name=device.name,
+        size_mb=size_mb,
+        per_object_size_mb=per_object_size,
+        loaded=outcome.loaded,
+        ssim=float(np.mean(ssim_scores)) if ssim_scores else 0.0,
+        psnr=float(np.mean(psnr_scores)) if psnr_scores else 0.0,
+        lpips=float(np.mean(lpips_scores)) if lpips_scores else 1.0,
+        per_object_ssim=per_object_ssim,
+        fps_trace=fps_trace,
+        num_submodels=multi_model.num_submodels,
+        selection=selection,
+        overhead_seconds=dict(overhead_seconds or {}),
+    )
+
+
+class NeRFlexPipeline:
+    """Orchestrates the full NeRFlex workflow for one target device.
+
+    Args:
+        device: the target device profile (its ``memory_budget_mb`` is the
+            selector's size limit ``H``).
+        config: pipeline parameters.
+        selector: configuration selector; defaults to the paper's DP
+            (Algorithm 1).  Passing a different selector reproduces the
+            Fairness / SLSQP ablations of §IV-C.
+        segmenter: detail-based segmenter (a default one is built from the
+            config when omitted).
+        measurement_cache: optional dict shared between pipelines so that
+            profiler measurements (which do not depend on the device) are
+            reused across devices and selectors.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        config: "PipelineConfig | None" = None,
+        selector=None,
+        segmenter: "DetailBasedSegmenter | None" = None,
+        measurement_cache: "dict | None" = None,
+    ) -> None:
+        self.device = device
+        self.config = config or PipelineConfig()
+        self.selector = selector or NeRFlexDPSelector()
+        self.segmenter = segmenter or DetailBasedSegmenter(
+            frequency_threshold=self.config.frequency_threshold
+        )
+        self.measurement_cache = measurement_cache if measurement_cache is not None else {}
+
+    # -- preparation ---------------------------------------------------------
+
+    def prepare(self, dataset) -> PreparationResult:
+        """Run segmentation, profiling and configuration selection."""
+        timers = StageTimer()
+
+        with timers.time("segmentation"):
+            segmentation = self.segmenter.segment(dataset)
+
+        fields: dict = {}
+        truths: dict = {}
+        profiles: list = []
+        fitter = ProfileFitter(self.config.config_space)
+        with timers.time("profiler"):
+            for sub_scene in segmentation.sub_scenes:
+                truth = dataset.scene.subset(sub_scene.instance_ids)
+                field_model = self._build_field(truth, sub_scene)
+                fields[sub_scene.name] = field_model
+                truths[sub_scene.name] = truth
+                measure = self._make_measure_fn(dataset, sub_scene, truth, field_model)
+                profiles.append(fitter.fit(sub_scene.name, measure))
+
+        with timers.time("solver"):
+            selector_budget = self.device.memory_budget_mb * (
+                1.0 - self.config.selector_safety_margin
+            )
+            selection = self.selector.select(profiles, selector_budget)
+
+        return PreparationResult(
+            segmentation=segmentation,
+            profiles=profiles,
+            selection=selection,
+            timers=timers,
+            fields=fields,
+            truths=truths,
+        )
+
+    def _build_field(self, truth, sub_scene: SubScene):
+        """The field that the sub-scene's NeRF would learn from its training set."""
+        if not self.config.apply_degradation:
+            return truth
+        extent = float(np.max(truth.bounds_max - truth.bounds_min))
+        detail_scale = coverage_detail_scale(sub_scene.training_pixel_counts, extent)
+        return DegradedField(truth, detail_scale, seed=self.config.seed)
+
+    def _profile_cameras(self, truth) -> list:
+        """Object-centred measurement viewpoints for the profiler."""
+        extent = float(np.max(truth.bounds_max - truth.bounds_min))
+        return orbit_cameras(
+            truth.center,
+            radius=1.25 * extent,
+            count=max(self.config.num_profile_views, 1),
+            elevation_deg=30.0,
+            width=self.config.profile_resolution,
+            height=self.config.profile_resolution,
+        )
+
+    def _make_measure_fn(self, dataset, sub_scene: SubScene, truth, field_model):
+        """Build the profiler's measurement callback for one sub-scene."""
+        cameras = self._profile_cameras(truth)
+        gt_key = (dataset.name, sub_scene.name, "gt")
+        if gt_key not in self.measurement_cache:
+            self.measurement_cache[gt_key] = [
+                render_scene(truth, camera) for camera in cameras
+            ]
+        ground_truths = self.measurement_cache[gt_key]
+
+        def measure(config: Configuration) -> tuple:
+            key = (dataset.name, sub_scene.name, config.granularity, config.patch_size)
+            if key in self.measurement_cache:
+                return self.measurement_cache[key]
+            baked = bake_field(
+                field_model,
+                granularity=config.granularity,
+                patch_size=config.patch_size,
+                name=sub_scene.name,
+                materialize_textures=self.config.materialize_textures,
+                size_constants=self.config.size_constants,
+            )
+            scores = []
+            for camera, reference in zip(cameras, ground_truths):
+                rendered = render_baked_multi(
+                    BakedMultiModel([baked]), camera, background=dataset.scene.background_color
+                )
+                scores.append(ssim(reference.rgb, rendered.rgb))
+            result = (float(np.mean(scores)), baked.size_mb())
+            self.measurement_cache[key] = result
+            return result
+
+        return measure
+
+    # -- baking and deployment -------------------------------------------------
+
+    def _bake_one(self, field_model, name: str, config: Configuration):
+        return bake_field(
+            field_model,
+            granularity=config.granularity,
+            patch_size=config.patch_size,
+            name=name,
+            materialize_textures=self.config.materialize_textures,
+            size_constants=self.config.size_constants,
+        )
+
+    def bake(self, preparation: PreparationResult) -> BakedMultiModel:
+        """Bake every sub-scene at its selected configuration.
+
+        The selector optimises over *predicted* sizes; after baking, if the
+        actual total still exceeds the device budget (profiler error beyond
+        the safety margin), sub-scenes are downgraded greedily — smallest
+        predicted quality loss per MB recovered — and re-baked until the
+        bundle fits.  The selection recorded in ``preparation`` is updated to
+        the configurations that were actually deployed.
+        """
+        assignments = dict(preparation.selection.assignments)
+        profiles_by_name = {profile.name: profile for profile in preparation.profiles}
+        baked = {
+            sub_scene.name: self._bake_one(
+                preparation.fields[sub_scene.name], sub_scene.name, assignments[sub_scene.name]
+            )
+            for sub_scene in preparation.segmentation.sub_scenes
+        }
+
+        def total_size() -> float:
+            return sum(model.size_mb() for model in baked.values())
+
+        for _ in range(32):
+            if total_size() <= self.device.memory_budget_mb:
+                break
+            best_name, best_config, best_rate = None, None, np.inf
+            for name, profile in profiles_by_name.items():
+                current = assignments[name]
+                current_size = baked[name].size_mb()
+                current_quality = profile.predict_quality(current)
+                for config in profile.config_space:
+                    size_gain = profile.predict_size(config) - current_size
+                    if size_gain >= -1e-6:
+                        continue
+                    loss_rate = (current_quality - profile.predict_quality(config)) / (
+                        -size_gain
+                    )
+                    if loss_rate < best_rate:
+                        best_name, best_config, best_rate = name, config, loss_rate
+            if best_name is None:
+                break
+            assignments[best_name] = best_config
+            baked[best_name] = self._bake_one(
+                preparation.fields[best_name], best_name, best_config
+            )
+
+        # Record the deployed configurations back onto the selection.
+        for name, config in assignments.items():
+            preparation.selection.assignments[name] = config
+            profile = profiles_by_name[name]
+            preparation.selection.predicted_quality[name] = profile.predict_quality(config)
+            preparation.selection.predicted_size_mb[name] = profile.predict_size(config)
+
+        ordered = [
+            baked[sub_scene.name] for sub_scene in preparation.segmentation.sub_scenes
+        ]
+        return BakedMultiModel(ordered)
+
+    def deploy(
+        self,
+        multi_model: BakedMultiModel,
+        dataset,
+        preparation: "PreparationResult | None" = None,
+        method: str = "NeRFlex",
+    ) -> DeploymentReport:
+        """Evaluate a baked bundle on this pipeline's target device."""
+        return evaluate_baked_deployment(
+            multi_model,
+            dataset,
+            self.device,
+            method=method,
+            num_eval_views=self.config.num_eval_views,
+            num_fps_frames=self.config.num_fps_frames,
+            seed=self.config.seed,
+            selection=preparation.selection if preparation else None,
+            overhead_seconds=preparation.overhead_seconds if preparation else None,
+            object_eval_resolution=self.config.object_eval_resolution,
+            gt_cache=self.measurement_cache,
+        )
+
+    def run(self, dataset) -> tuple:
+        """Full pipeline: prepare, bake and deploy.
+
+        Returns:
+            ``(preparation, multi_model, report)``.
+        """
+        preparation = self.prepare(dataset)
+        multi_model = self.bake(preparation)
+        report = self.deploy(multi_model, dataset, preparation)
+        return preparation, multi_model, report

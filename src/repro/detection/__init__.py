@@ -1,0 +1,34 @@
+"""Object detection and mask extraction substrate.
+
+NeRFlex's segmentation module starts from an off-the-shelf object detector
+that produces per-object masks on every training image (§III-A).  Pretrained
+detectors are not available offline, so two detectors with the same
+interface are provided:
+
+* :class:`OracleDetector` — reads the instance-ID buffer produced by the
+  ground-truth renderer (a perfect detector, the default in experiments);
+* :class:`ConnectedComponentsDetector` — a purely image-space detector
+  (foreground extraction + connected components) that needs no ground-truth
+  information and demonstrates the pipeline end-to-end from pixels alone.
+
+The module also provides the crop-and-enlarge (interpolation scaling)
+primitive that turns a detected object into a dedicated training image.
+"""
+
+from repro.detection.detector import (
+    Detection,
+    OracleDetector,
+    ConnectedComponentsDetector,
+)
+from repro.detection.masks import mask_pixel_counts, mask_iou, merge_masks
+from repro.detection.interpolation import crop_and_enlarge
+
+__all__ = [
+    "Detection",
+    "OracleDetector",
+    "ConnectedComponentsDetector",
+    "mask_pixel_counts",
+    "mask_iou",
+    "merge_masks",
+    "crop_and_enlarge",
+]

@@ -1,0 +1,51 @@
+"""Mask utilities shared by the segmentation module and its tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mask_pixel_counts(detections_per_view: list, instance_id: int) -> list:
+    """Pixel counts of one instance across views.
+
+    Args:
+        detections_per_view: list (one entry per view) of detection lists,
+            as produced by a detector.
+        instance_id: the instance to collect counts for.
+
+    Returns:
+        One count per view; views where the instance was not detected
+        contribute 0.
+    """
+    counts = []
+    for detections in detections_per_view:
+        count = 0
+        for detection in detections:
+            if detection.instance_id == instance_id:
+                count = detection.pixel_count
+                break
+        counts.append(count)
+    return counts
+
+
+def mask_iou(mask_a: np.ndarray, mask_b: np.ndarray) -> float:
+    """Intersection-over-union of two boolean masks (1.0 if both empty)."""
+    mask_a = np.asarray(mask_a, dtype=bool)
+    mask_b = np.asarray(mask_b, dtype=bool)
+    if mask_a.shape != mask_b.shape:
+        raise ValueError("masks must have the same shape")
+    union = np.logical_or(mask_a, mask_b).sum()
+    if union == 0:
+        return 1.0
+    intersection = np.logical_and(mask_a, mask_b).sum()
+    return float(intersection) / float(union)
+
+
+def merge_masks(masks: list) -> np.ndarray:
+    """Union of a list of boolean masks."""
+    if not masks:
+        raise ValueError("merge_masks needs at least one mask")
+    merged = np.zeros_like(np.asarray(masks[0], dtype=bool))
+    for mask in masks:
+        merged |= np.asarray(mask, dtype=bool)
+    return merged

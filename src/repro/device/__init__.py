@@ -1,0 +1,28 @@
+"""Mobile-device simulator.
+
+The paper deploys baked NeRF data to an iPhone 13 and a Pixel 4 and renders
+it in the browser with WebGL.  Physical handsets are not available here, so
+this package models the two behaviours the evaluation depends on:
+
+* a **memory model** — each device has a data-size budget; the iPhone's
+  WebGL engine refuses to load data above ~240 MB, and the Pixel keeps
+  loading but loses roughly 15 FPS once data exceeds ~150 MB (§IV-A);
+* a **frame-time model** — per-frame cost grows with the baked data size
+  (and mildly with the number of sub-models), with a loading/warm-up phase
+  at the start of a session, producing the FPS traces of Fig. 6.
+"""
+
+from repro.device.models import DeviceProfile, IPHONE_13, PIXEL_4, DEVICE_LIBRARY
+from repro.device.memory import MemoryModel, LoadOutcome
+from repro.device.render_sim import RenderSimulator, simulate_fps_trace
+
+__all__ = [
+    "DeviceProfile",
+    "IPHONE_13",
+    "PIXEL_4",
+    "DEVICE_LIBRARY",
+    "MemoryModel",
+    "LoadOutcome",
+    "RenderSimulator",
+    "simulate_fps_trace",
+]

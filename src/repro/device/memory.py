@@ -1,0 +1,65 @@
+"""Memory / loading model of the on-device rendering engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.models import DeviceProfile
+
+
+@dataclass
+class LoadOutcome:
+    """Result of attempting to load baked data on a device.
+
+    Attributes:
+        loaded: whether loading succeeded.
+        size_mb: data size that was attempted.
+        load_time_s: wall-clock loading time (0 when loading failed).
+        reason: human-readable explanation when loading failed.
+    """
+
+    loaded: bool
+    size_mb: float
+    load_time_s: float = 0.0
+    reason: str = ""
+
+
+@dataclass
+class MemoryModel:
+    """Loading behaviour of a device's rendering engine.
+
+    Args:
+        device: the device profile.
+        load_seconds_per_mb: parse/upload time per MB of baked data.
+    """
+
+    device: DeviceProfile
+    load_seconds_per_mb: float = 0.02
+
+    def try_load(self, size_mb: float) -> LoadOutcome:
+        """Attempt to load ``size_mb`` of baked data.
+
+        Mirrors the paper's observation that the iPhone's WebGL engine
+        simply fails to load data above its limit, whereas the Pixel loads
+        larger data but pays for it at render time.
+        """
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        if not self.device.can_load(size_mb):
+            return LoadOutcome(
+                loaded=False,
+                size_mb=float(size_mb),
+                reason=(
+                    f"{self.device.name}: baked data of {size_mb:.0f} MB exceeds the "
+                    f"loadable limit of {self.device.hard_memory_limit_mb:.0f} MB"
+                ),
+            )
+        return LoadOutcome(
+            loaded=True,
+            size_mb=float(size_mb),
+            load_time_s=float(size_mb) * self.load_seconds_per_mb,
+        )
+
+    def within_budget(self, size_mb: float) -> bool:
+        """Whether the data fits the selector budget (not just loadable)."""
+        return size_mb <= self.device.memory_budget_mb

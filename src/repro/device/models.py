@@ -1,0 +1,91 @@
+"""Device profiles for the two handsets used in the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Capability description of a mobile device.
+
+    Attributes:
+        name: human-readable device name.
+        memory_budget_mb: the data-size limit ``H`` handed to NeRFlex's
+            configuration selector (240 MB for iPhone 13, 150 MB for
+            Pixel 4 in the paper).
+        hard_memory_limit_mb: above this size the WebGL engine fails to load
+            the data at all and rendering never starts.
+        compute_score: relative rendering throughput (1.0 = iPhone 13).
+        base_frame_ms: fixed per-frame cost (driver + compositing overhead).
+        size_ms_per_mb: incremental per-frame cost per MB of baked data.
+        excess_ms_per_mb: additional per-frame cost per MB *above* the
+            memory budget (models the stutter the paper observes on the
+            Pixel once data exceeds 150 MB).
+        submodel_ms: per-frame cost of each additional sub-model (draw-call
+            and state-switch overhead of the multi-NeRF player).
+        loading_frames: length of the initial loading phase during which the
+            frame rate fluctuates heavily.
+    """
+
+    name: str
+    memory_budget_mb: float
+    hard_memory_limit_mb: float
+    compute_score: float = 1.0
+    base_frame_ms: float = 8.0
+    size_ms_per_mb: float = 0.09
+    excess_ms_per_mb: float = 0.16
+    submodel_ms: float = 0.2
+    loading_frames: int = 150
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_mb <= 0 or self.hard_memory_limit_mb <= 0:
+            raise ValueError("memory limits must be positive")
+        if self.compute_score <= 0:
+            raise ValueError("compute_score must be positive")
+
+    def frame_time_ms(self, size_mb: float, num_submodels: int = 1) -> float:
+        """Steady-state per-frame time for a deployment of the given size."""
+        if size_mb < 0:
+            raise ValueError("size_mb must be non-negative")
+        excess = max(0.0, size_mb - self.memory_budget_mb)
+        cost = (
+            self.base_frame_ms
+            + self.size_ms_per_mb * size_mb
+            + self.excess_ms_per_mb * excess
+            + self.submodel_ms * max(num_submodels - 1, 0)
+        )
+        return cost / self.compute_score
+
+    def steady_state_fps(self, size_mb: float, num_submodels: int = 1) -> float:
+        """Steady-state FPS implied by :meth:`frame_time_ms` (0 if unloadable)."""
+        if not self.can_load(size_mb):
+            return 0.0
+        return 1000.0 / self.frame_time_ms(size_mb, num_submodels)
+
+    def can_load(self, size_mb: float) -> bool:
+        """Whether the rendering engine can load data of this size at all."""
+        return size_mb <= self.hard_memory_limit_mb
+
+
+#: iPhone 13: 4 GB RAM; the WebGL engine fails to load baked data beyond
+#: ~240 MB (§IV-A), which is therefore both the selector budget and the hard
+#: loading limit.
+IPHONE_13 = DeviceProfile(
+    name="iPhone 13",
+    memory_budget_mb=240.0,
+    hard_memory_limit_mb=240.0,
+    compute_score=1.0,
+)
+
+#: Pixel 4: 6 GB RAM, so larger data still loads, but the weaker GPU loses
+#: roughly 15 FPS once the data exceeds ~150 MB — hence a 150 MB selector
+#: budget with a much higher hard loading limit.
+PIXEL_4 = DeviceProfile(
+    name="Pixel 4",
+    memory_budget_mb=150.0,
+    hard_memory_limit_mb=450.0,
+    compute_score=0.55,
+)
+
+DEVICE_LIBRARY = {"iphone13": IPHONE_13, "pixel4": PIXEL_4}

@@ -1,0 +1,14 @@
+"""Image-quality and smoothness metrics used throughout the evaluation.
+
+The paper reports SSIM (its primary quality metric ``Q``), PSNR, LPIPS and
+frames-per-second.  LPIPS in the paper uses a pretrained network; this
+reproduction substitutes a fixed multi-scale perceptual distance with the
+same ordering behaviour (see ``DESIGN.md``).
+"""
+
+from repro.metrics.ssim import ssim
+from repro.metrics.psnr import psnr, mse
+from repro.metrics.lpips import lpips_proxy
+from repro.metrics.fps import FPSTrace, summarize_fps
+
+__all__ = ["ssim", "psnr", "mse", "lpips_proxy", "FPSTrace", "summarize_fps"]

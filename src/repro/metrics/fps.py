@@ -1,0 +1,64 @@
+"""Frames-per-second traces and summary statistics (rendering smoothness)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FPSTrace:
+    """An instantaneous-FPS trace over a rendering session.
+
+    Attributes:
+        fps: per-frame instantaneous FPS values (0.0 for frames that could
+            not be rendered, e.g. when loading fails).
+        failed: true when rendering could not start at all — the paper's
+            "Single NeRF fails to render on iPhone" case (Fig. 6a).
+    """
+
+    fps: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    failed: bool = False
+
+    def __post_init__(self) -> None:
+        self.fps = np.asarray(self.fps, dtype=np.float64)
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.fps.size)
+
+    @property
+    def average(self) -> float:
+        """Mean FPS over the whole trace (0.0 for a failed / empty trace)."""
+        if self.failed or self.fps.size == 0:
+            return 0.0
+        return float(self.fps.mean())
+
+    def steady_state_average(self, warmup_fraction: float = 0.1) -> float:
+        """Mean FPS after discarding the initial loading/warm-up phase."""
+        if self.failed or self.fps.size == 0:
+            return 0.0
+        start = int(self.fps.size * warmup_fraction)
+        return float(self.fps[start:].mean())
+
+    def stutter_rate(self, threshold_fraction: float = 0.5) -> float:
+        """Fraction of frames whose FPS falls below ``threshold_fraction`` of
+        the steady-state average — a simple smoothness/stutter indicator."""
+        if self.failed or self.fps.size == 0:
+            return 1.0
+        steady = self.steady_state_average()
+        if steady <= 0.0:
+            return 1.0
+        return float(np.mean(self.fps < threshold_fraction * steady))
+
+
+def summarize_fps(trace: FPSTrace) -> dict:
+    """Return a dictionary summary of an FPS trace (used by the benches)."""
+    return {
+        "num_frames": trace.num_frames,
+        "failed": trace.failed,
+        "average_fps": trace.average,
+        "steady_state_fps": trace.steady_state_average(),
+        "stutter_rate": trace.stutter_rate(),
+    }

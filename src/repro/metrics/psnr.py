@@ -1,0 +1,28 @@
+"""Peak Signal-to-Noise Ratio and mean squared error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(image_a: np.ndarray, image_b: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    image_a = np.asarray(image_a, dtype=np.float64)
+    image_b = np.asarray(image_b, dtype=np.float64)
+    if image_a.shape != image_b.shape:
+        raise ValueError(
+            f"mse: image shapes differ: {image_a.shape} vs {image_b.shape}"
+        )
+    return float(np.mean((image_a - image_b) ** 2))
+
+
+def psnr(image_a: np.ndarray, image_b: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak Signal-to-Noise Ratio in decibels.
+
+    Identical images return ``inf``.  Higher is better; the paper reports
+    PSNR alongside SSIM and LPIPS in Table I.
+    """
+    error = mse(image_a, image_b)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10((data_range**2) / error))

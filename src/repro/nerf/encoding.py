@@ -1,0 +1,52 @@
+"""Sinusoidal positional encoding (NeRF's input featurisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PositionalEncoding:
+    """Map coordinates to a bank of sinusoids at geometrically spaced
+    frequencies, as in the original NeRF.
+
+    Args:
+        num_frequencies: number of octaves; frequencies are
+            ``2^0 .. 2^(L-1)`` (times pi).
+        include_input: whether the raw coordinates are appended.
+        input_dim: dimensionality of the encoded coordinates (3 for xyz).
+    """
+
+    def __init__(
+        self, num_frequencies: int = 6, include_input: bool = True, input_dim: int = 3
+    ) -> None:
+        if num_frequencies < 1:
+            raise ValueError("num_frequencies must be at least 1")
+        self.num_frequencies = int(num_frequencies)
+        self.include_input = bool(include_input)
+        self.input_dim = int(input_dim)
+        self.frequencies = (2.0 ** np.arange(self.num_frequencies)) * np.pi
+
+    @property
+    def output_dim(self) -> int:
+        dim = 2 * self.num_frequencies * self.input_dim
+        if self.include_input:
+            dim += self.input_dim
+        return dim
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Encode ``(N, input_dim)`` coordinates to ``(N, output_dim)``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected (N, {self.input_dim}) points, got {points.shape}"
+            )
+        angles = points[:, None, :] * self.frequencies[None, :, None]
+        encoded = np.concatenate(
+            [np.sin(angles), np.cos(angles)], axis=1
+        ).reshape(points.shape[0], -1)
+        if self.include_input:
+            encoded = np.concatenate([points, encoded], axis=1)
+        return encoded
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        return self.encode(points)

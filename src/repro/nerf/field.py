@@ -1,0 +1,199 @@
+"""Field adapters: analytic, distilled-MLP and classic NeRF fields.
+
+Everything downstream of training (baking, rendering, profiling) consumes
+the *field protocol*: ``sdf(points)``, ``albedo(points)``, ``bounds_min``,
+``bounds_max``.  Three implementations are provided:
+
+* :class:`AnalyticField` — wraps a procedural scene or placed object; this
+  is the "perfectly trained" field and the reference for every experiment.
+* :class:`DistilledField` — an MLP that regresses the SDF and albedo of a
+  target field (distillation training, the fast path that demonstrates
+  end-to-end learning on CPU).
+* :class:`NeRFField` — a classic density/colour NeRF MLP used with the
+  volume renderer; it exposes the field protocol through a density
+  iso-surface so it can also be baked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nerf.encoding import PositionalEncoding
+from repro.nerf.mlp import MLP
+
+
+class AnalyticField:
+    """Adapter presenting any scene-like object as a radiance field.
+
+    This is the idealised limit of NeRF training: the field equals the
+    ground-truth geometry and appearance exactly.
+    """
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        return self.source.sdf(points)
+
+    def albedo(self, points: np.ndarray) -> np.ndarray:
+        return self.source.albedo(points)
+
+    @property
+    def bounds_min(self) -> np.ndarray:
+        return self.source.bounds_min
+
+    @property
+    def bounds_max(self) -> np.ndarray:
+        return self.source.bounds_max
+
+
+class DistilledField:
+    """An MLP field trained to regress a target field's SDF and albedo.
+
+    The network maps positional-encoded coordinates to ``[sdf, r, g, b]``.
+    Coordinates are normalised to the target's bounding box so the encoding
+    frequencies are scale-free.
+    """
+
+    def __init__(
+        self,
+        bounds_min: np.ndarray,
+        bounds_max: np.ndarray,
+        hidden_size: int = 64,
+        num_hidden_layers: int = 3,
+        num_frequencies: int = 6,
+        seed: int = 0,
+    ) -> None:
+        self._bounds_min = np.asarray(bounds_min, dtype=np.float64)
+        self._bounds_max = np.asarray(bounds_max, dtype=np.float64)
+        if np.any(self._bounds_max <= self._bounds_min):
+            raise ValueError("bounds_max must exceed bounds_min on every axis")
+        self.encoding = PositionalEncoding(num_frequencies=num_frequencies)
+        sizes = [self.encoding.output_dim] + [hidden_size] * num_hidden_layers + [4]
+        self.mlp = MLP(sizes, seed=seed)
+        self._extent = float(np.max(self._bounds_max - self._bounds_min))
+
+    # -- field protocol ----------------------------------------------------
+
+    @property
+    def bounds_min(self) -> np.ndarray:
+        return self._bounds_min
+
+    @property
+    def bounds_max(self) -> np.ndarray:
+        return self._bounds_max
+
+    def _normalize(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        center = 0.5 * (self._bounds_min + self._bounds_max)
+        return (points - center) / (0.5 * self._extent)
+
+    def _raw_outputs(self, points: np.ndarray, return_cache: bool = False):
+        encoded = self.encoding(self._normalize(points))
+        return self.mlp.forward(encoded, return_cache=return_cache)
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        """Predicted signed distance (denormalised to world units)."""
+        outputs = self._raw_outputs(points)
+        return outputs[:, 0] * (0.5 * self._extent)
+
+    def albedo(self, points: np.ndarray) -> np.ndarray:
+        outputs = self._raw_outputs(points)
+        return np.clip(_sigmoid(outputs[:, 1:4]), 0.0, 1.0)
+
+    # -- training interface (used by repro.nerf.training) -------------------
+
+    def training_targets(self, target_field, points: np.ndarray) -> np.ndarray:
+        """Regression targets ``[sdf, r, g, b]`` from the target field."""
+        sdf = target_field.sdf(points) / (0.5 * self._extent)
+        albedo = target_field.albedo(points)
+        return np.concatenate([sdf[:, None], albedo], axis=1)
+
+    def training_step(self, points: np.ndarray, targets: np.ndarray) -> tuple:
+        """One forward/backward pass; returns ``(loss, gradients)``."""
+        encoded = self.encoding(self._normalize(points))
+        outputs, cache = self.mlp.forward(encoded, return_cache=True)
+        predictions = np.concatenate(
+            [outputs[:, :1], _sigmoid(outputs[:, 1:4])], axis=1
+        )
+        residual = predictions - targets
+        loss = float(np.mean(residual**2))
+        grad_predictions = 2.0 * residual / residual.size
+        grad_outputs = grad_predictions.copy()
+        sigmoid_vals = predictions[:, 1:4]
+        grad_outputs[:, 1:4] = grad_predictions[:, 1:4] * sigmoid_vals * (1.0 - sigmoid_vals)
+        gradients = self.mlp.backward(grad_outputs, cache)
+        return loss, gradients
+
+
+class NeRFField:
+    """A classic NeRF: density and colour predicted from encoded positions.
+
+    Exposes ``density``/``color`` for the volume renderer and the field
+    protocol (via a density iso-surface pseudo-SDF) so a trained network can
+    be baked like any other field.
+    """
+
+    def __init__(
+        self,
+        bounds_min: np.ndarray,
+        bounds_max: np.ndarray,
+        hidden_size: int = 64,
+        num_hidden_layers: int = 3,
+        num_frequencies: int = 6,
+        density_threshold: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        self._bounds_min = np.asarray(bounds_min, dtype=np.float64)
+        self._bounds_max = np.asarray(bounds_max, dtype=np.float64)
+        self.encoding = PositionalEncoding(num_frequencies=num_frequencies)
+        sizes = [self.encoding.output_dim] + [hidden_size] * num_hidden_layers + [4]
+        self.mlp = MLP(sizes, seed=seed)
+        self.density_threshold = float(density_threshold)
+        self._extent = float(np.max(self._bounds_max - self._bounds_min))
+
+    @property
+    def bounds_min(self) -> np.ndarray:
+        return self._bounds_min
+
+    @property
+    def bounds_max(self) -> np.ndarray:
+        return self._bounds_max
+
+    def _normalize(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        center = 0.5 * (self._bounds_min + self._bounds_max)
+        return (points - center) / (0.5 * self._extent)
+
+    def forward(self, points: np.ndarray, return_cache: bool = False):
+        encoded = self.encoding(self._normalize(points))
+        return self.mlp.forward(encoded, return_cache=return_cache)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Non-negative volume density."""
+        outputs = self.forward(points)
+        return _softplus(outputs[:, 0])
+
+    def color(self, points: np.ndarray) -> np.ndarray:
+        """Emitted colour in [0, 1]."""
+        outputs = self.forward(points)
+        return _sigmoid(outputs[:, 1:4])
+
+    # -- field protocol (density iso-surface) -------------------------------
+
+    def sdf(self, points: np.ndarray) -> np.ndarray:
+        """Pseudo-SDF: negative where density exceeds the threshold."""
+        return (self.density_threshold - self.density(points)) * (
+            0.05 * self._extent / max(self.density_threshold, 1e-6)
+        )
+
+    def albedo(self, points: np.ndarray) -> np.ndarray:
+        return self.color(points)
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -30.0, 30.0)))
+
+
+def _softplus(values: np.ndarray) -> np.ndarray:
+    return np.log1p(np.exp(-np.abs(values))) + np.maximum(values, 0.0)

@@ -1,0 +1,122 @@
+"""A small fully-connected network with manual backpropagation.
+
+PyTorch is unavailable in this environment, so the NeRF networks are plain
+numpy MLPs: ReLU hidden layers, linear output, explicit forward caches and
+gradients, trained with Adam.  The networks the paper uses per sub-scene are
+tiny (a few thousand parameters once baked), so this scale is sufficient to
+demonstrate the full train -> bake -> deploy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+class MLP:
+    """Multi-layer perceptron with ReLU activations and a linear head."""
+
+    def __init__(self, layer_sizes: list, seed: "int | None" = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output size")
+        rng = make_rng(seed)
+        self.layer_sizes = [int(size) for size in layer_sizes]
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def num_parameters(self) -> int:
+        return int(
+            sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        )
+
+    def parameters(self) -> list:
+        """Flat list of parameter arrays (weights then biases, per layer)."""
+        params = []
+        for weight, bias in zip(self.weights, self.biases):
+            params.extend([weight, bias])
+        return params
+
+    def forward(self, inputs: np.ndarray, return_cache: bool = False):
+        """Forward pass; optionally returns the activation cache for backward."""
+        activations = [np.asarray(inputs, dtype=np.float64)]
+        pre_activations = []
+        hidden = activations[0]
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            pre = hidden @ weight + bias
+            pre_activations.append(pre)
+            if index < self.num_layers - 1:
+                hidden = np.maximum(pre, 0.0)
+            else:
+                hidden = pre
+            activations.append(hidden)
+        if return_cache:
+            return hidden, (activations, pre_activations)
+        return hidden
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def backward(self, grad_output: np.ndarray, cache) -> list:
+        """Backpropagate ``dL/d(output)`` through the cached forward pass.
+
+        Returns gradients in the same order as :meth:`parameters`.
+        """
+        activations, pre_activations = cache
+        grads = [None] * (2 * self.num_layers)
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for index in range(self.num_layers - 1, -1, -1):
+            if index < self.num_layers - 1:
+                grad = grad * (pre_activations[index] > 0.0)
+            grads[2 * index] = activations[index].T @ grad
+            grads[2 * index + 1] = grad.sum(axis=0)
+            if index > 0:
+                grad = grad @ self.weights[index].T
+        return grads
+
+
+@dataclass
+class AdamOptimizer:
+    """Adam optimiser over a fixed list of parameter arrays."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+
+    def __post_init__(self) -> None:
+        self._first_moments = None
+        self._second_moments = None
+        self._step = 0
+
+    def step(self, parameters: list, gradients: list) -> None:
+        """Apply one in-place Adam update to ``parameters``."""
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must have the same length")
+        if self._first_moments is None:
+            self._first_moments = [np.zeros_like(param) for param in parameters]
+            self._second_moments = [np.zeros_like(param) for param in parameters]
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, grad, moment1, moment2 in zip(
+            parameters, gradients, self._first_moments, self._second_moments
+        ):
+            moment1 *= self.beta1
+            moment1 += (1.0 - self.beta1) * grad
+            moment2 *= self.beta2
+            moment2 += (1.0 - self.beta2) * grad**2
+            corrected1 = moment1 / bias1
+            corrected2 = moment2 / bias2
+            param -= self.learning_rate * corrected1 / (np.sqrt(corrected2) + self.epsilon)

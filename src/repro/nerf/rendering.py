@@ -1,0 +1,216 @@
+"""Volume rendering: alpha compositing along rays, forward and gradients.
+
+This module provides the classic NeRF rendering equation
+
+    C(r) = sum_i T_i * (1 - exp(-sigma_i * delta_i)) * c_i + T_end * bg
+
+together with the analytic gradients of ``C`` with respect to the per-sample
+densities and colours, which the image-based trainer uses for
+backpropagation without any autodiff framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nerf.sampling import stratified_samples
+from repro.scenes.cameras import Camera, camera_rays
+from repro.scenes.raytrace import RenderResult
+
+
+def composite_samples(
+    densities: np.ndarray,
+    colors: np.ndarray,
+    deltas: np.ndarray,
+    background=(1.0, 1.0, 1.0),
+    sample_distances: "np.ndarray | None" = None,
+) -> dict:
+    """Alpha-composite per-sample densities and colours along rays.
+
+    Args:
+        densities: ``(R, S)`` non-negative densities.
+        colors: ``(R, S, 3)`` per-sample colours.
+        deltas: ``(R, S)`` distances between consecutive samples.
+        background: background colour composited behind the volume.
+        sample_distances: ``(R, S)`` absolute distances of the samples from
+            the ray origin; when given, the reported ``depth`` is the
+            weighted expectation of these distances (otherwise depth is
+            measured from the first sample).
+
+    Returns:
+        dict with ``rgb`` (R, 3), ``weights`` (R, S), ``transmittance``
+        (R, S+1) and ``depth`` (R,) — the expected termination depth.
+    """
+    densities = np.maximum(np.asarray(densities, dtype=np.float64), 0.0)
+    colors = np.asarray(colors, dtype=np.float64)
+    deltas = np.asarray(deltas, dtype=np.float64)
+    background = np.asarray(background, dtype=np.float64)
+
+    alphas = 1.0 - np.exp(-densities * deltas)
+    ones = np.ones((alphas.shape[0], 1))
+    transmittance = np.concatenate(
+        [ones, np.cumprod(1.0 - alphas + 1e-12, axis=1)], axis=1
+    )
+    weights = transmittance[:, :-1] * alphas
+    rgb = (weights[..., None] * colors).sum(axis=1)
+    rgb = rgb + transmittance[:, -1:] * background
+    cumulative = weights.sum(axis=1)
+    if sample_distances is None:
+        sample_distances = np.cumsum(deltas, axis=1)
+    depth = (weights * np.asarray(sample_distances, dtype=np.float64)).sum(
+        axis=1
+    ) / np.maximum(cumulative, 1e-8)
+    return {
+        "rgb": rgb,
+        "weights": weights,
+        "transmittance": transmittance,
+        "depth": depth,
+        "alpha": cumulative,
+    }
+
+
+def composite_gradients(
+    densities: np.ndarray,
+    colors: np.ndarray,
+    deltas: np.ndarray,
+    grad_rgb: np.ndarray,
+    composite: dict,
+    background=(1.0, 1.0, 1.0),
+) -> tuple:
+    """Gradients of the composited colour w.r.t. densities and colours.
+
+    Uses the identity ``dC/dsigma_i = delta_i * (T_{i+1} c_i - suffix_i)``
+    where ``suffix_i`` is the contribution of everything behind sample ``i``
+    (including the background term), avoiding any division by
+    ``1 - alpha_i``.
+
+    Args:
+        grad_rgb: ``(R, 3)`` upstream gradient ``dL/dC``.
+        composite: the dict returned by :func:`composite_samples` for the
+            same inputs.
+
+    Returns:
+        ``(grad_densities, grad_colors)`` with shapes ``(R, S)`` and
+        ``(R, S, 3)``.
+    """
+    weights = composite["weights"]
+    transmittance = composite["transmittance"]
+    background = np.asarray(background, dtype=np.float64)
+    colors = np.asarray(colors, dtype=np.float64)
+    deltas = np.asarray(deltas, dtype=np.float64)
+
+    grad_colors = weights[..., None] * grad_rgb[:, None, :]
+
+    weighted = weights[..., None] * colors  # (R, S, 3)
+    # suffix_i = sum_{j>i} w_j c_j + T_end * bg
+    reversed_cumsum = np.cumsum(weighted[:, ::-1, :], axis=1)[:, ::-1, :]
+    suffix = np.concatenate(
+        [reversed_cumsum[:, 1:, :], np.zeros_like(reversed_cumsum[:, :1, :])], axis=1
+    )
+    suffix = suffix + transmittance[:, -1:, None] * background[None, None, :]
+    per_channel = transmittance[:, 1:, None] * colors - suffix
+    grad_densities = deltas * np.einsum("rsc,rc->rs", per_channel, grad_rgb)
+    # Densities are clamped at zero in the forward pass; gradient flows only
+    # where the density is positive (handled by the caller's activation).
+    return grad_densities, grad_colors
+
+
+def volume_render_field(
+    field,
+    camera: Camera,
+    num_samples: int = 96,
+    background=(1.0, 1.0, 1.0),
+    density_scale: float = 160.0,
+    rng: "np.random.Generator | int | None" = None,
+    chunk_rays: int = 8192,
+) -> RenderResult:
+    """Volume-render a field-protocol object (SDF + albedo) from a camera.
+
+    The SDF is converted to density with a logistic bump around the surface
+    (``density_scale`` controls its sharpness relative to the field extent);
+    the per-ray colour is the shaded radiance evaluated at the expected
+    termination point (a two-pass scheme that avoids evaluating shading at
+    every volume sample).  This is the rendering path used by the NGP /
+    Mip-NeRF 360 baseline emulators, which render their (degraded) fields
+    directly rather than baking a mesh.
+    """
+    from repro.scenes.raytrace import field_radiance  # local import avoids a cycle
+
+    origins, directions = camera_rays(camera)
+    num_rays = origins.shape[0]
+    extent = float(np.max(field.bounds_max - field.bounds_min))
+    surface_width = extent / max(density_scale, 1e-6)
+
+    center = 0.5 * (np.asarray(field.bounds_min) + np.asarray(field.bounds_max))
+    distance_to_center = np.linalg.norm(camera.position - center)
+    near = max(distance_to_center - extent, 1e-3)
+    far = distance_to_center + extent
+
+    rgb = np.tile(np.asarray(background, dtype=np.float64), (num_rays, 1))
+    depth = np.full(num_rays, np.inf)
+    alpha = np.zeros(num_rays)
+
+    for start in range(0, num_rays, chunk_rays):
+        stop = min(start + chunk_rays, num_rays)
+        count = stop - start
+        t_values = stratified_samples(
+            np.full(count, near), np.full(count, far), num_samples, rng=rng, jitter=False
+        )
+        points = origins[start:stop, None, :] + t_values[..., None] * directions[
+            start:stop, None, :
+        ]
+        flat = points.reshape(-1, 3)
+        sdf = field.sdf(flat).reshape(count, num_samples)
+        densities = _sdf_to_density(sdf, surface_width)
+        deltas = np.diff(
+            t_values, axis=1, append=t_values[:, -1:] + (far - near) / num_samples
+        )
+        # First pass: opacity and expected termination depth from densities.
+        composite = composite_samples(
+            densities,
+            np.zeros((count, num_samples, 3)),
+            deltas,
+            background=(0, 0, 0),
+            sample_distances=t_values,
+        )
+        weights = composite["weights"]
+        ray_alpha = composite["alpha"]
+        ray_depth = composite["depth"]
+        # Second pass: shade only the rays that actually hit the volume, at
+        # their expected termination point.
+        hit_rows = np.flatnonzero(ray_alpha > 0.05)
+        if hit_rows.size:
+            surface_points = origins[start:stop][hit_rows] + ray_depth[hit_rows, None] * (
+                directions[start:stop][hit_rows]
+            )
+            radiance = field_radiance(field, surface_points)
+            mix = ray_alpha[hit_rows, None]
+            rgb[start + hit_rows] = mix * radiance + (1.0 - mix) * np.asarray(background)
+            depth[start + hit_rows] = ray_depth[hit_rows]
+        alpha[start:stop] = ray_alpha
+        del weights
+
+    height, width = camera.height, camera.width
+    hit = alpha > 0.5
+    object_ids = np.where(hit, 0, -1)
+    return RenderResult(
+        rgb=np.clip(rgb, 0.0, 1.0).reshape(height, width, 3),
+        depth=np.where(hit, depth, np.inf).reshape(height, width),
+        object_ids=object_ids.reshape(height, width),
+        hit_mask=hit.reshape(height, width),
+    )
+
+
+def _sdf_to_density(sdf: np.ndarray, surface_width: float) -> np.ndarray:
+    """Convert signed distance to volume density.
+
+    Density is high inside the surface and falls off smoothly across a band
+    of width ``surface_width`` outside it, which keeps the volume renderer
+    well behaved at finite sample counts.
+    """
+    scaled = np.clip(-sdf / max(surface_width, 1e-9), -30.0, 30.0)
+    return 30.0 / max(surface_width, 1e-9) * _sigmoid_array(scaled) * 0.5
+
+
+def _sigmoid_array(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-values))

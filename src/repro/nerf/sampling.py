@@ -1,0 +1,47 @@
+"""Ray sampling strategies for volume rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def stratified_samples(
+    near: np.ndarray,
+    far: np.ndarray,
+    num_samples: int,
+    rng: "np.random.Generator | int | None" = None,
+    jitter: bool = True,
+) -> np.ndarray:
+    """Stratified sample distances along each ray.
+
+    Args:
+        near / far: ``(R,)`` per-ray integration bounds.
+        num_samples: samples per ray.
+        rng: generator or seed for the stratified jitter.
+        jitter: when false, samples sit at bin centres (deterministic).
+
+    Returns:
+        ``(R, num_samples)`` array of distances, monotonically increasing
+        along each ray.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be at least 1")
+    near = np.asarray(near, dtype=np.float64).reshape(-1)
+    far = np.asarray(far, dtype=np.float64).reshape(-1)
+    if near.shape != far.shape:
+        raise ValueError("near and far must have the same shape")
+    if np.any(far < near):
+        raise ValueError("far must be >= near for every ray")
+
+    bins = np.linspace(0.0, 1.0, num_samples + 1)
+    lower = bins[:-1][None, :]
+    width = (bins[1:] - bins[:-1])[None, :]
+    if jitter:
+        generator = make_rng(rng)
+        offsets = generator.uniform(size=(near.shape[0], num_samples))
+    else:
+        offsets = np.full((near.shape[0], num_samples), 0.5)
+    fractions = lower + offsets * width
+    return near[:, None] + fractions * (far - near)[:, None]

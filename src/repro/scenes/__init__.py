@@ -1,0 +1,74 @@
+"""Synthetic scene substrate.
+
+The paper trains and evaluates on (a) synthetic 360-degree objects from the
+original NeRF dataset and (b) real-world forward-facing scenes from LLFF.
+Neither dataset can be downloaded offline, so this package provides
+procedural analogues built from signed-distance functions (SDFs) with
+controllable geometric complexity and texture frequency, plus a ground-truth
+ray tracer that produces the training/testing image sets (and instance-ID
+buffers) every downstream module consumes.
+"""
+
+from repro.scenes.primitives import (
+    sdf_sphere,
+    sdf_box,
+    sdf_rounded_box,
+    sdf_torus,
+    sdf_cylinder,
+    sdf_capsule,
+    sdf_union,
+    sdf_intersection,
+    sdf_subtraction,
+    repeat_xz,
+)
+from repro.scenes.objects import (
+    SceneObject,
+    OBJECT_LIBRARY,
+    REFERENCE_OBJECT_NAMES,
+    make_object,
+    list_objects,
+)
+from repro.scenes.scene import PlacedObject, Scene, compose_scene
+from repro.scenes.cameras import Camera, orbit_cameras, forward_facing_cameras, camera_rays
+from repro.scenes.raytrace import RenderResult, render_scene, render_field
+from repro.scenes.dataset import SceneDataset, generate_dataset
+from repro.scenes.library import (
+    make_simulated_scene,
+    make_realworld_scene,
+    make_single_object_scene,
+    SIMULATED_SCENE_NAMES,
+)
+
+__all__ = [
+    "sdf_sphere",
+    "sdf_box",
+    "sdf_rounded_box",
+    "sdf_torus",
+    "sdf_cylinder",
+    "sdf_capsule",
+    "sdf_union",
+    "sdf_intersection",
+    "sdf_subtraction",
+    "repeat_xz",
+    "SceneObject",
+    "OBJECT_LIBRARY",
+    "REFERENCE_OBJECT_NAMES",
+    "make_object",
+    "list_objects",
+    "PlacedObject",
+    "Scene",
+    "compose_scene",
+    "Camera",
+    "orbit_cameras",
+    "forward_facing_cameras",
+    "camera_rays",
+    "RenderResult",
+    "render_scene",
+    "render_field",
+    "SceneDataset",
+    "generate_dataset",
+    "make_simulated_scene",
+    "make_realworld_scene",
+    "make_single_object_scene",
+    "SIMULATED_SCENE_NAMES",
+]

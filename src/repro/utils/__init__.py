@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, image operations, timing and serialization."""
+
+from repro.utils.rng import make_rng, derive_rng
+from repro.utils.timing import Timer, StageTimer
+from repro.utils.image import (
+    to_gray,
+    resize_bilinear,
+    crop_to_bbox,
+    bbox_from_mask,
+    pad_to_square,
+    clamp01,
+)
+
+__all__ = [
+    "make_rng",
+    "derive_rng",
+    "Timer",
+    "StageTimer",
+    "to_gray",
+    "resize_bilinear",
+    "crop_to_bbox",
+    "bbox_from_mask",
+    "pad_to_square",
+    "clamp01",
+]

@@ -1,0 +1,109 @@
+"""Small image-processing helpers shared across the library.
+
+Images are ``float64``/``float32`` numpy arrays in ``[0, 1]`` with shape
+``(H, W)`` for grayscale or ``(H, W, 3)`` for RGB.  Masks are boolean arrays
+of shape ``(H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clamp01(image: np.ndarray) -> np.ndarray:
+    """Clamp an image to the valid ``[0, 1]`` range."""
+    return np.clip(image, 0.0, 1.0)
+
+
+def to_gray(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to grayscale using Rec. 601 luma weights.
+
+    Grayscale inputs are returned unchanged (as float).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return image
+    if image.ndim == 3 and image.shape[-1] == 3:
+        weights = np.array([0.299, 0.587, 0.114])
+        return image @ weights
+    raise ValueError(f"expected (H, W) or (H, W, 3) image, got shape {image.shape}")
+
+
+def bbox_from_mask(mask: np.ndarray, margin: int = 0) -> tuple[int, int, int, int]:
+    """Return the tight bounding box ``(row0, col0, row1, col1)`` of a mask.
+
+    ``row1``/``col1`` are exclusive.  ``margin`` expands the box on every side
+    (clamped to the image).  Raises ``ValueError`` if the mask is empty.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    rows = np.any(mask, axis=1)
+    cols = np.any(mask, axis=0)
+    if not rows.any():
+        raise ValueError("bbox_from_mask: mask is empty")
+    row0, row1 = int(np.argmax(rows)), int(len(rows) - np.argmax(rows[::-1]))
+    col0, col1 = int(np.argmax(cols)), int(len(cols) - np.argmax(cols[::-1]))
+    row0 = max(0, row0 - margin)
+    col0 = max(0, col0 - margin)
+    row1 = min(mask.shape[0], row1 + margin)
+    col1 = min(mask.shape[1], col1 + margin)
+    return row0, col0, row1, col1
+
+
+def crop_to_bbox(image: np.ndarray, bbox: tuple[int, int, int, int]) -> np.ndarray:
+    """Crop ``image`` to a ``(row0, col0, row1, col1)`` bounding box."""
+    row0, col0, row1, col1 = bbox
+    return image[row0:row1, col0:col1]
+
+
+def pad_to_square(image: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Pad an image with ``fill`` so that height equals width (centred)."""
+    height, width = image.shape[:2]
+    side = max(height, width)
+    pad_h = side - height
+    pad_w = side - width
+    top, bottom = pad_h // 2, pad_h - pad_h // 2
+    left, right = pad_w // 2, pad_w - pad_w // 2
+    pad_spec = [(top, bottom), (left, right)] + [(0, 0)] * (image.ndim - 2)
+    return np.pad(image, pad_spec, mode="constant", constant_values=fill)
+
+
+def resize_bilinear(image: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Resize an image to ``(out_h, out_w)`` with bilinear interpolation.
+
+    This is the interpolation-scaling primitive used by the segmentation
+    module when it enlarges a cropped object to the full training-image size
+    (NeRFlex §III-A).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    in_h, in_w = image.shape[:2]
+    out_h, out_w = int(out_shape[0]), int(out_shape[1])
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"invalid output shape {out_shape}")
+    if (in_h, in_w) == (out_h, out_w):
+        return image.copy()
+
+    # Sample positions in the source image (align corners = False convention).
+    row_pos = (np.arange(out_h) + 0.5) * in_h / out_h - 0.5
+    col_pos = (np.arange(out_w) + 0.5) * in_w / out_w - 0.5
+    row_pos = np.clip(row_pos, 0.0, in_h - 1.0)
+    col_pos = np.clip(col_pos, 0.0, in_w - 1.0)
+
+    row0 = np.floor(row_pos).astype(int)
+    col0 = np.floor(col_pos).astype(int)
+    row1 = np.minimum(row0 + 1, in_h - 1)
+    col1 = np.minimum(col0 + 1, in_w - 1)
+    row_frac = (row_pos - row0)[:, None]
+    col_frac = (col_pos - col0)[None, :]
+
+    if image.ndim == 3:
+        row_frac = row_frac[..., None]
+        col_frac = col_frac[..., None]
+
+    top_left = image[row0][:, col0]
+    top_right = image[row0][:, col1]
+    bottom_left = image[row1][:, col0]
+    bottom_right = image[row1][:, col1]
+
+    top = top_left * (1.0 - col_frac) + top_right * col_frac
+    bottom = bottom_left * (1.0 - col_frac) + bottom_right * col_frac
+    return top * (1.0 - row_frac) + bottom * row_frac

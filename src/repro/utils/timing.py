@@ -1,0 +1,84 @@
+"""Wall-clock timing helpers used for the overhead analysis (Fig. 9)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer usable as a context manager.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named pipeline stage.
+
+    The NeRFlex overhead analysis (Fig. 9) reports the split between the
+    segmentation module, the performance profiler and the configuration
+    solver; :class:`StageTimer` is how the pipeline collects that split.
+    """
+
+    stages: dict = field(default_factory=dict)
+
+    def time(self, name: str) -> "_StageContext":
+        """Return a context manager that adds its elapsed time to ``name``."""
+        return _StageContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        return float(sum(self.stages.values()))
+
+    def fractions(self) -> dict:
+        """Return each stage's share of the total (empty dict if no time)."""
+        total = self.total()
+        if total <= 0.0:
+            return {}
+        return {name: value / total for name, value in self.stages.items()}
+
+    def as_dict(self) -> dict:
+        return dict(self.stages)
+
+
+class _StageContext:
+    def __init__(self, owner: StageTimer, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> Timer:
+        return self._timer.start()
+
+    def __exit__(self, *exc) -> None:
+        self._timer.stop()
+        self._owner.add(self._name, self._timer.elapsed)

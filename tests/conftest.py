@@ -1,0 +1,67 @@
+"""Shared fixtures: small scenes and datasets sized for fast unit testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config_space import ConfigurationSpace
+from repro.scenes.cameras import orbit_cameras
+from repro.scenes.dataset import generate_dataset
+from repro.scenes.library import make_single_object_scene
+from repro.scenes.objects import make_cube, make_sphere
+from repro.scenes.raytrace import render_scene
+from repro.scenes.scene import PlacedObject, Scene
+
+
+@pytest.fixture(scope="session")
+def sphere_scene():
+    """A single textured sphere centred at the origin."""
+    return make_single_object_scene("sphere")
+
+
+@pytest.fixture(scope="session")
+def two_object_scene():
+    """A small two-object scene (sphere + cube) used across integration tests."""
+    placed = [
+        PlacedObject(
+            obj=make_sphere(frequency=2.0),
+            translation=np.array([-0.55, 0.0, 0.0]),
+            instance_id=0,
+            instance_name="sphere",
+        ),
+        PlacedObject(
+            obj=make_cube(frequency=8.0),
+            translation=np.array([0.55, 0.0, 0.0]),
+            instance_id=1,
+            instance_name="cube",
+        ),
+    ]
+    return Scene(placed)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(two_object_scene):
+    """A low-resolution dataset over the two-object scene."""
+    return generate_dataset(
+        two_object_scene, num_train=4, num_test=1, resolution=64, name="tiny"
+    )
+
+
+@pytest.fixture(scope="session")
+def sphere_view(sphere_scene):
+    """One rendered view of the sphere scene."""
+    camera = orbit_cameras(
+        sphere_scene.center,
+        radius=1.3 * sphere_scene.extent,
+        count=1,
+        width=72,
+        height=72,
+    )[0]
+    return render_scene(sphere_scene, camera), camera
+
+
+@pytest.fixture(scope="session")
+def tiny_config_space():
+    """A small configuration space that keeps baking cheap in tests."""
+    return ConfigurationSpace(granularities=(8, 12, 16, 24), patch_sizes=(1, 2, 3))

@@ -1,0 +1,156 @@
+"""Tests for detail-frequency analysis and the configuration space."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.frequency import (
+    detail_frequency,
+    max_frequency_over_views,
+    radial_energy_profile,
+    spectral_residual_saliency,
+)
+
+
+def _pattern_image(frequency: float, size: int = 64) -> np.ndarray:
+    xs = np.linspace(0, 1, size)
+    grid_x, grid_y = np.meshgrid(xs, xs)
+    return 0.5 + 0.5 * np.sin(2 * np.pi * frequency * grid_x) * np.sin(
+        2 * np.pi * frequency * grid_y
+    )
+
+
+class TestDetailFrequency:
+    def test_high_frequency_pattern_scores_higher(self):
+        low = detail_frequency(_pattern_image(2))
+        high = detail_frequency(_pattern_image(14))
+        assert high > low
+
+    def test_flat_image_scores_zero(self):
+        assert detail_frequency(np.full((32, 32), 0.5)) == 0.0
+
+    def test_frequency_is_bounded_by_nyquist(self):
+        assert 0.0 <= detail_frequency(_pattern_image(30)) <= 0.5
+
+    def test_mask_restricts_analysis(self):
+        image = np.full((64, 64), 0.5)
+        image[:, 32:] = _pattern_image(14)[:, 32:]
+        flat_mask = np.zeros((64, 64), dtype=bool)
+        flat_mask[:, :32] = True
+        busy_mask = ~flat_mask
+        assert detail_frequency(image, busy_mask) > detail_frequency(image, flat_mask)
+
+    def test_tiny_mask_scores_zero(self):
+        image = _pattern_image(8)
+        mask = np.zeros((64, 64), dtype=bool)
+        mask[0, 0] = True
+        assert detail_frequency(image, mask) == 0.0
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detail_frequency(np.zeros((8, 8)), np.zeros((4, 4), dtype=bool))
+
+    def test_reference_objects_ranked_by_texture_detail(self, small_dataset):
+        """In rendered views, the high-frequency cube scores above the smooth
+        sphere — the signal the segmentation module relies on."""
+        view = small_dataset.train_views[0]
+        sphere_freq = detail_frequency(view.rgb, view.object_mask(0))
+        cube_freq = detail_frequency(view.rgb, view.object_mask(1))
+        assert cube_freq > sphere_freq
+
+    def test_max_over_views(self):
+        images = [_pattern_image(2), _pattern_image(16)]
+        masks = [np.ones((64, 64), bool), np.ones((64, 64), bool)]
+        value = max_frequency_over_views(images, masks)
+        assert value == pytest.approx(detail_frequency(images[1]), abs=1e-9)
+
+    def test_max_over_views_skips_missing(self):
+        images = [_pattern_image(4), _pattern_image(16)]
+        masks = [np.ones((64, 64), bool), None]
+        assert max_frequency_over_views(images, masks) == pytest.approx(
+            detail_frequency(images[0]), abs=1e-9
+        )
+
+    def test_max_over_views_length_mismatch(self):
+        with pytest.raises(ValueError):
+            max_frequency_over_views([np.zeros((8, 8))], [])
+
+    def test_radial_profile_shapes(self):
+        frequencies, energy = radial_energy_profile(_pattern_image(6), num_bins=16)
+        assert frequencies.shape == (16,)
+        assert energy.shape == (16,)
+        assert np.all(energy >= 0)
+
+    def test_saliency_highlights_structured_region(self):
+        image = np.full((64, 64), 0.5)
+        image[20:44, 20:44] = _pattern_image(10)[20:44, 20:44]
+        saliency = spectral_residual_saliency(image)
+        assert saliency.shape == (64, 64)
+        # The region containing the novel textured object (including its
+        # boundary, where spectral-residual saliency concentrates) scores
+        # higher than a featureless corner.
+        assert saliency[18:46, 18:46].mean() > 1.2 * saliency[:12, :12].mean()
+        assert saliency[18:46, 18:46].max() > saliency[:12, :12].max()
+        assert 0.0 <= saliency.min() and saliency.max() <= 1.0
+
+
+class TestConfiguration:
+    def test_aliases_match_paper_notation(self):
+        config = Configuration(64, 4)
+        assert config.g == 64 and config.p == 4
+        assert config.as_tuple() == (64, 4)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration(1, 4)
+        with pytest.raises(ValueError):
+            Configuration(16, 0)
+
+    def test_ordering_and_hashing(self):
+        assert Configuration(16, 2) < Configuration(32, 1)
+        assert len({Configuration(16, 2), Configuration(16, 2)}) == 1
+
+
+class TestConfigurationSpace:
+    def test_iteration_covers_product(self):
+        space = ConfigurationSpace(granularities=(8, 16), patch_sizes=(1, 2, 3))
+        assert len(space) == 6
+        assert len(list(space)) == 6
+
+    def test_membership(self):
+        space = ConfigurationSpace(granularities=(8, 16), patch_sizes=(1, 2))
+        assert Configuration(8, 2) in space
+        assert Configuration(12, 2) not in space
+
+    def test_min_and_max_config(self):
+        space = ConfigurationSpace(granularities=(32, 8, 16), patch_sizes=(4, 1))
+        assert space.min_config == Configuration(8, 1)
+        assert space.max_config == Configuration(32, 4)
+
+    def test_values_are_sorted_and_deduplicated(self):
+        space = ConfigurationSpace(granularities=(16, 8, 16), patch_sizes=(2, 2, 1))
+        assert space.granularities == (8, 16)
+        assert space.patch_sizes == (1, 2)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(granularities=(), patch_sizes=(1,))
+
+    def test_profiling_granularities_follow_tripling_rule(self):
+        space = ConfigurationSpace(granularities=(16, 24, 32, 48, 64, 96, 128), patch_sizes=(1, 2, 4))
+        samples = space.profiling_granularities()
+        assert samples[0] == 16
+        assert samples[-1] == 128
+        assert len(samples) <= 4
+
+    def test_profiling_patch_sizes_min_mid_max(self):
+        space = ConfigurationSpace(granularities=(16, 32), patch_sizes=(1, 2, 3, 4, 6, 8))
+        assert space.profiling_patch_sizes() == (1, 4, 8)
+
+    def test_profiling_configs_cover_both_knobs(self, tiny_config_space):
+        configs = tiny_config_space.profiling_configs()
+        granularities = {config.granularity for config in configs}
+        patches = {config.patch_size for config in configs}
+        assert len(granularities) >= 2
+        assert len(patches) >= 2
+        assert len(configs) >= 4

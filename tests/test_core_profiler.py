@@ -1,0 +1,176 @@
+"""Tests for the lightweight profiler (white-box quality/size models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.profiler import (
+    ObjectProfile,
+    PaperQualityModel,
+    PaperSizeModel,
+    ProfileFitter,
+    QualityModel,
+    SizeModel,
+    profile_error_analysis,
+)
+
+SPACE = ConfigurationSpace(granularities=(16, 24, 32, 48, 64, 96, 128), patch_sizes=(1, 2, 3, 4, 6, 8))
+
+
+def synthetic_measure(config: Configuration) -> tuple:
+    """A ground-truth-like measurement function with the expected shape:
+    saturating quality, polynomial size."""
+    g, p = config.granularity, config.patch_size
+    quality = 0.96 - 14.0 / ((g + 10.0) * (p + 1.5))
+    size = 0.4 + 1.2e-3 * g * g * 1e-1 + 4.0e-6 * g * g * p * p + 6.0e-5 * g**3 / 10.0
+    return quality, size
+
+
+def noisy_measure(config: Configuration, seed: int = 0) -> tuple:
+    rng = np.random.default_rng(seed + config.granularity * 100 + config.patch_size)
+    quality, size = synthetic_measure(config)
+    return quality + rng.normal(0, 0.004), size * (1 + rng.normal(0, 0.01))
+
+
+class TestSizeModel:
+    def test_exact_recovery_of_generating_model(self):
+        truth = SizeModel(s0=1.0, s1=2e-3, s2=5e-5, s3=1e-5)
+        configs = list(SPACE.profiling_configs())
+        sizes = np.array([truth.predict(config) for config in configs])
+        fitted = SizeModel.fit(configs, sizes)
+        for config in SPACE:
+            assert fitted.predict(config) == pytest.approx(truth.predict(config), rel=1e-6)
+
+    def test_prediction_never_negative(self):
+        model = SizeModel(s0=-5.0, s1=0.0, s2=0.0, s3=0.0)
+        assert model.predict(Configuration(16, 1)) == 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SizeModel.fit([Configuration(16, 1)], np.array([1.0]))
+
+    def test_monotone_for_positive_coefficients(self):
+        model = SizeModel(s0=0.5, s1=1e-3, s2=1e-5, s3=1e-6)
+        assert model.predict(Configuration(64, 4)) > model.predict(Configuration(32, 4))
+        assert model.predict(Configuration(64, 4)) > model.predict(Configuration(64, 2))
+
+
+class TestQualityModel:
+    def test_fit_recovers_saturating_behaviour(self):
+        configs = list(SPACE.profiling_configs())
+        qualities = np.array([synthetic_measure(config)[0] for config in configs])
+        model = QualityModel.fit(configs, qualities)
+        # Monotone increasing in both knobs and bounded by qmax.
+        assert model.predict(Configuration(128, 8)) > model.predict(Configuration(16, 1))
+        assert model.predict(Configuration(128, 8)) <= model.qmax + 1e-9
+        # Accurate interpolation at unseen configurations.
+        for config in [Configuration(48, 2), Configuration(96, 6)]:
+            assert model.predict(config) == pytest.approx(synthetic_measure(config)[0], abs=0.02)
+
+    def test_fit_with_noise_is_stable(self):
+        configs = list(SPACE.profiling_configs())
+        qualities = np.array([noisy_measure(config)[0] for config in configs])
+        model = QualityModel.fit(configs, qualities)
+        assert 0.5 < model.qmax <= 1.2
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            QualityModel.fit([Configuration(16, 1), Configuration(32, 1)], np.array([0.5, 0.6]))
+
+    @given(
+        qmax=st.floats(0.8, 1.0),
+        k=st.floats(1.0, 30.0),
+        a=st.floats(1.0, 30.0),
+        b=st.floats(0.5, 4.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_model_is_monotone_in_both_knobs(self, qmax, k, a, b):
+        model = QualityModel(qmax=qmax, k=k, a=a, b=b)
+        assert model.predict(Configuration(64, 3)) >= model.predict(Configuration(32, 3))
+        assert model.predict(Configuration(64, 4)) >= model.predict(Configuration(64, 2))
+
+
+class TestPaperModels:
+    def test_paper_size_model_fits_saturating_data(self):
+        configs = list(SPACE.profiling_configs())
+        truth = PaperSizeModel(m=150.0, k=2e8, a=5.0, b=1.0)
+        sizes = np.array([truth.predict(config) for config in configs])
+        fitted = PaperSizeModel.fit(configs, sizes)
+        for config in [Configuration(48, 2), Configuration(96, 4)]:
+            assert fitted.predict(config) == pytest.approx(truth.predict(config), rel=0.05)
+
+    def test_paper_quality_model_is_increasing(self):
+        configs = list(SPACE.profiling_configs())
+        qualities = np.array([synthetic_measure(config)[0] for config in configs])
+        model = PaperQualityModel.fit(configs, qualities)
+        assert model.predict(Configuration(128, 8)) > model.predict(Configuration(16, 1))
+
+
+class TestProfileFitter:
+    def test_fit_produces_accurate_profile(self):
+        fitter = ProfileFitter(SPACE)
+        profile = fitter.fit("synthetic", synthetic_measure)
+        assert isinstance(profile, ObjectProfile)
+        assert len(profile.measurements) == len(SPACE.profiling_configs())
+        analysis = profile_error_analysis(profile, synthetic_measure, list(SPACE))
+        assert analysis["quality_mean_error"] < 0.01
+        assert analysis["size_mean_error"] < 0.06 * max(
+            synthetic_measure(SPACE.max_config)[1], 1.0
+        )
+
+    def test_extra_configs_are_measured(self):
+        fitter = ProfileFitter(SPACE)
+        extra = Configuration(48, 2)
+        profile = fitter.fit("synthetic", synthetic_measure, extra_configs=[extra])
+        assert extra in profile.measurements
+
+    def test_best_config_within_budget(self):
+        profile = ProfileFitter(SPACE).fit("synthetic", synthetic_measure)
+        tight = profile.best_config_within(profile.min_predicted_size() + 1.0)
+        loose = profile.best_config_within(1e9)
+        assert tight is not None and loose is not None
+        assert profile.predict_quality(loose) >= profile.predict_quality(tight)
+        assert profile.best_config_within(0.0) is None
+
+    def test_min_predicted_size_is_minimum(self):
+        profile = ProfileFitter(SPACE).fit("synthetic", synthetic_measure)
+        sizes = [profile.predict_size(config) for config in SPACE]
+        assert profile.min_predicted_size() == pytest.approx(min(sizes))
+
+    def test_profile_error_analysis_keys(self):
+        profile = ProfileFitter(SPACE).fit("synthetic", synthetic_measure)
+        analysis = profile_error_analysis(profile, synthetic_measure, list(SPACE)[:10])
+        assert set(analysis) == {
+            "num_configs",
+            "quality_mean_error",
+            "quality_std_error",
+            "size_mean_error",
+            "size_std_error",
+        }
+        assert analysis["num_configs"] == 10
+
+    def test_profiler_on_real_baked_object(self, tiny_config_space):
+        """End-to-end: fit a profile from actual bakes of a small object and
+        check the models reproduce the held-out measurements reasonably."""
+        from repro.baking import bake_field, render_baked
+        from repro.metrics import ssim
+        from repro.scenes.cameras import orbit_cameras
+        from repro.scenes.library import make_single_object_scene
+        from repro.scenes.raytrace import render_scene
+
+        scene = make_single_object_scene("torus")
+        camera = orbit_cameras(scene.center, radius=1.25 * scene.extent, count=1, width=72, height=72)[0]
+        reference = render_scene(scene, camera)
+
+        def measure(config):
+            baked = bake_field(scene, config.granularity, config.patch_size)
+            rendered = render_baked(baked, camera)
+            return ssim(reference.rgb, rendered.rgb), baked.size_mb()
+
+        profile = ProfileFitter(tiny_config_space).fit("torus", measure)
+        held_out = Configuration(12, 2)
+        quality, size = measure(held_out)
+        assert profile.predict_quality(held_out) == pytest.approx(quality, abs=0.12)
+        assert profile.predict_size(held_out) == pytest.approx(size, rel=0.35)

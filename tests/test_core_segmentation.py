@@ -1,0 +1,85 @@
+"""Tests for the detail-based segmentation module."""
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import DetailBasedSegmenter
+from repro.detection import ConnectedComponentsDetector
+
+
+class TestDetailBasedSegmenter:
+    def test_default_threshold_dedicates_every_object(self, small_dataset):
+        """With the paper's evaluation setting (threshold = lowest maximum
+        frequency) every detected object gets its own NeRF."""
+        result = DetailBasedSegmenter().segment(small_dataset)
+        assert len(result.dedicated) == len(small_dataset.scene.placed)
+        assert result.joint is None
+        assert result.threshold == pytest.approx(min(result.max_frequencies.values()))
+
+    def test_sub_scene_names_match_instances(self, small_dataset):
+        result = DetailBasedSegmenter().segment(small_dataset)
+        names = {sub.name for sub in result.sub_scenes}
+        assert names == set(small_dataset.scene.instance_names)
+
+    def test_high_threshold_creates_joint_subscene(self, small_dataset):
+        result = DetailBasedSegmenter(frequency_threshold=10.0).segment(small_dataset)
+        assert result.dedicated == []
+        joint = result.joint
+        assert joint is not None
+        assert sorted(joint.instance_ids) == sorted(small_dataset.scene.instance_ids)
+        assert not joint.dedicated
+        assert joint.enlargement_scales == [1.0] * small_dataset.num_train
+
+    def test_intermediate_threshold_splits_by_frequency(self, small_dataset):
+        baseline = DetailBasedSegmenter().segment(small_dataset)
+        frequencies = sorted(baseline.max_frequencies.values())
+        threshold = 0.5 * (frequencies[0] + frequencies[1])
+        result = DetailBasedSegmenter(frequency_threshold=threshold).segment(small_dataset)
+        assert len(result.dedicated) == 1
+        assert result.joint is not None
+        # The dedicated object is the high-frequency cube (instance 1).
+        assert result.dedicated[0].instance_ids == [1]
+
+    def test_dedicated_subscene_records_enlargement(self, small_dataset):
+        result = DetailBasedSegmenter().segment(small_dataset)
+        for sub in result.dedicated:
+            visible = [scale for scale in sub.enlargement_scales if scale > 0]
+            assert visible, f"{sub.name} never visible"
+            assert max(visible) > 1.2
+            # Enlarged training views dedicate more pixels to the object.
+            assert max(sub.training_pixel_counts) > max(sub.pixel_counts)
+
+    def test_keep_training_images(self, small_dataset):
+        segmenter = DetailBasedSegmenter(keep_training_images=True)
+        result = segmenter.segment(small_dataset)
+        for sub in result.dedicated:
+            assert len(sub.training_images) >= 1
+            image = sub.training_images[0]
+            assert image.shape == small_dataset.train_images[0].shape
+
+    def test_describe_contains_threshold_and_members(self, small_dataset):
+        result = DetailBasedSegmenter(frequency_threshold=10.0).segment(small_dataset)
+        description = result.describe()
+        assert description["num_sub_scenes"] == 1
+        assert description["dedicated"] == []
+        assert sorted(description["joint_members"]) == [0, 1]
+
+    def test_works_with_image_space_detector(self, small_dataset):
+        segmenter = DetailBasedSegmenter(detector=ConnectedComponentsDetector())
+        result = segmenter.segment(small_dataset)
+        assert len(result.sub_scenes) >= 1
+        assert all(sub.max_frequency >= 0 for sub in result.sub_scenes)
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        class EmptyDataset:
+            train_views: list = []
+            scene = small_dataset.scene
+
+        with pytest.raises(ValueError):
+            DetailBasedSegmenter().segment(EmptyDataset())
+
+    def test_mean_enlargement_property(self, small_dataset):
+        result = DetailBasedSegmenter().segment(small_dataset)
+        for sub in result.dedicated:
+            assert sub.mean_enlargement >= 1.0
+            assert sub.num_views == small_dataset.num_train

@@ -1,0 +1,207 @@
+"""Tests for the DP configuration selector and its baselines.
+
+Includes property-based tests comparing the paper's Algorithm 1 against an
+exhaustive brute-force solver on randomly generated instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.profiler import ObjectProfile, QualityModel, SizeModel
+from repro.core.selector import ExactMCKSelector, NeRFlexDPSelector
+from repro.core.selector_baselines import (
+    BruteForceSelector,
+    FairnessSelector,
+    GreedySelector,
+    SLSQPSelector,
+)
+
+SMALL_SPACE = ConfigurationSpace(granularities=(16, 32, 64), patch_sizes=(1, 2, 4))
+
+
+def make_profile(
+    name: str,
+    qmax: float,
+    k: float,
+    size_scale: float,
+    space: ConfigurationSpace = SMALL_SPACE,
+) -> ObjectProfile:
+    """Build an ObjectProfile directly from model parameters (no measuring)."""
+    return ObjectProfile(
+        name=name,
+        config_space=space,
+        quality_model=QualityModel(qmax=qmax, k=k, a=8.0, b=1.0),
+        size_model=SizeModel(s0=1.0, s1=0.0, s2=size_scale * 2e-4, s3=size_scale * 2e-5),
+    )
+
+
+@pytest.fixture
+def three_profiles():
+    return [
+        make_profile("simple", qmax=0.97, k=3.0, size_scale=1.0),
+        make_profile("medium", qmax=0.95, k=12.0, size_scale=1.2),
+        make_profile("complex", qmax=0.93, k=40.0, size_scale=1.5),
+    ]
+
+
+profile_strategy = st.builds(
+    make_profile,
+    name=st.sampled_from(["a", "b", "c", "d", "e"]),
+    qmax=st.floats(0.85, 1.0),
+    k=st.floats(1.0, 60.0),
+    size_scale=st.floats(0.5, 3.0),
+)
+
+
+class TestNeRFlexDPSelector:
+    def test_respects_budget(self, three_profiles):
+        result = NeRFlexDPSelector().select(three_profiles, budget_mb=30.0)
+        assert result.feasible
+        assert result.total_predicted_size_mb <= 30.0 + 1e-6
+
+    def test_uses_more_budget_for_more_quality(self, three_profiles):
+        tight = NeRFlexDPSelector().select(three_profiles, budget_mb=15.0)
+        loose = NeRFlexDPSelector().select(three_profiles, budget_mb=80.0)
+        assert loose.total_predicted_quality >= tight.total_predicted_quality
+
+    def test_allocates_more_to_complex_objects(self, three_profiles):
+        """The DP shifts bytes from flat-quality objects to objects whose
+        quality still improves with size — the paper's Fig. 8 behaviour."""
+        result = NeRFlexDPSelector().select(three_profiles, budget_mb=35.0)
+        assert result.predicted_size_mb["complex"] > result.predicted_size_mb["simple"]
+
+    def test_matches_brute_force_on_small_instance(self, three_profiles):
+        budget = 28.0
+        dp = NeRFlexDPSelector(size_step_mb=0.25).select(three_profiles, budget)
+        brute = BruteForceSelector().select(three_profiles, budget)
+        assert dp.total_predicted_quality == pytest.approx(
+            brute.total_predicted_quality, abs=0.02
+        )
+
+    def test_infeasible_budget_flagged(self, three_profiles):
+        result = NeRFlexDPSelector().select(three_profiles, budget_mb=0.5)
+        assert not result.feasible
+        for name, config in result.assignments.items():
+            assert config == SMALL_SPACE.min_config
+
+    def test_single_object_selects_best_fitting_config(self):
+        profile = make_profile("solo", qmax=0.95, k=20.0, size_scale=1.0)
+        result = NeRFlexDPSelector().select([profile], budget_mb=50.0)
+        expected = profile.best_config_within(50.0)
+        assert result.assignments["solo"] == expected
+
+    def test_input_validation(self, three_profiles):
+        with pytest.raises(ValueError):
+            NeRFlexDPSelector().select([], 10.0)
+        with pytest.raises(ValueError):
+            NeRFlexDPSelector().select(three_profiles, 0.0)
+        with pytest.raises(ValueError):
+            NeRFlexDPSelector(size_step_mb=0.0)
+
+    def test_describe_round_trips_assignments(self, three_profiles):
+        result = NeRFlexDPSelector().select(three_profiles, budget_mb=40.0)
+        description = result.describe()
+        assert description["method"] == "nerflex-dp"
+        assert set(description["assignments"]) == {"simple", "medium", "complex"}
+
+    @given(profiles=st.lists(profile_strategy, min_size=1, max_size=4), budget=st.floats(5.0, 120.0))
+    @settings(max_examples=25, deadline=None)
+    def test_dp_matches_exact_mck_quality(self, profiles, budget):
+        """Algorithm 1's feasibility filter never loses optimality."""
+        # Give every profile a unique name.
+        for index, profile in enumerate(profiles):
+            profile.name = f"object_{index}"
+        dp = NeRFlexDPSelector(size_step_mb=0.5).select(profiles, budget)
+        exact = ExactMCKSelector(size_step_mb=0.5).select(profiles, budget)
+        assert dp.feasible == exact.feasible
+        if dp.feasible:
+            assert dp.total_predicted_quality == pytest.approx(
+                exact.total_predicted_quality, abs=1e-6
+            )
+
+    @given(profiles=st.lists(profile_strategy, min_size=1, max_size=3), budget=st.floats(5.0, 80.0))
+    @settings(max_examples=20, deadline=None)
+    def test_dp_never_worse_than_greedy_or_fairness(self, profiles, budget):
+        """The DP at budget H dominates greedy/fairness run at a slightly
+        smaller budget (the DP's conservative ceiling discretisation can
+        forfeit at most ``n * step < 2%`` of the budget)."""
+        for index, profile in enumerate(profiles):
+            profile.name = f"object_{index}"
+        dp = NeRFlexDPSelector(size_step_mb=0.5).select(profiles, budget)
+        if not dp.feasible:
+            return
+        greedy = GreedySelector().select(profiles, budget * 0.97)
+        fairness = FairnessSelector().select(profiles, budget * 0.97)
+        assert dp.total_predicted_quality >= greedy.total_predicted_quality - 1e-9
+        assert dp.total_predicted_quality >= fairness.total_predicted_quality - 1e-9
+
+    @given(profiles=st.lists(profile_strategy, min_size=2, max_size=4), budget=st.floats(10.0, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_every_object_gets_exactly_one_config(self, profiles, budget):
+        for index, profile in enumerate(profiles):
+            profile.name = f"object_{index}"
+        result = NeRFlexDPSelector().select(profiles, budget)
+        assert set(result.assignments) == {profile.name for profile in profiles}
+        for profile in profiles:
+            assert result.assignments[profile.name] in profile.config_space
+
+
+class TestExactMCKSelector:
+    def test_matches_brute_force(self, three_profiles):
+        exact = ExactMCKSelector(size_step_mb=0.25).select(three_profiles, 32.0)
+        brute = BruteForceSelector().select(three_profiles, 32.0)
+        assert exact.total_predicted_quality == pytest.approx(
+            brute.total_predicted_quality, abs=0.02
+        )
+
+
+class TestFairnessSelector:
+    def test_equal_share_allocation(self, three_profiles):
+        result = FairnessSelector().select(three_profiles, budget_mb=30.0)
+        share = 10.0
+        for profile in three_profiles:
+            config = result.assignments[profile.name]
+            best = profile.best_config_within(share)
+            assert config == (best or profile.config_space.min_config)
+
+    def test_can_exceed_budget_when_shares_too_small(self):
+        profiles = [make_profile(f"o{i}", 0.95, 10.0, size_scale=5.0) for i in range(3)]
+        result = FairnessSelector().select(profiles, budget_mb=3.0)
+        assert not result.feasible
+
+
+class TestSLSQPSelector:
+    def test_respects_budget_after_repair(self, three_profiles):
+        result = SLSQPSelector().select(three_profiles, budget_mb=30.0)
+        assert result.total_predicted_size_mb <= 30.0 + 1e-6
+
+    def test_not_better_than_dp(self, three_profiles):
+        dp = NeRFlexDPSelector().select(three_profiles, 30.0)
+        slsqp = SLSQPSelector().select(three_profiles, 30.0)
+        assert slsqp.total_predicted_quality <= dp.total_predicted_quality + 1e-6
+
+    def test_invalid_initialisation(self):
+        with pytest.raises(ValueError):
+            SLSQPSelector(initial="random")
+
+    def test_mid_initialisation_runs(self, three_profiles):
+        result = SLSQPSelector(initial="mid").select(three_profiles, 30.0)
+        assert set(result.assignments) == {"simple", "medium", "complex"}
+
+
+class TestGreedyAndBruteForce:
+    def test_greedy_respects_budget(self, three_profiles):
+        result = GreedySelector().select(three_profiles, 25.0)
+        assert result.total_predicted_size_mb <= 25.0 + 1e-6
+
+    def test_brute_force_limit(self, three_profiles):
+        with pytest.raises(ValueError):
+            BruteForceSelector(max_combinations=2).select(three_profiles, 30.0)
+
+    def test_brute_force_infeasible(self):
+        profiles = [make_profile("big", 0.9, 5.0, size_scale=50.0)]
+        result = BruteForceSelector().select(profiles, budget_mb=0.1)
+        assert not result.feasible

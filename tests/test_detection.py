@@ -1,0 +1,144 @@
+"""Tests for the detection substrate (detectors, masks, crop-and-enlarge)."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    ConnectedComponentsDetector,
+    OracleDetector,
+    crop_and_enlarge,
+    mask_iou,
+    mask_pixel_counts,
+    merge_masks,
+)
+
+
+class TestOracleDetector:
+    def test_detects_every_visible_instance(self, small_dataset):
+        detector = OracleDetector()
+        view = small_dataset.train_views[0]
+        detections = detector.detect(view)
+        detected_ids = {detection.instance_id for detection in detections}
+        visible_ids = {int(i) for i in np.unique(view.object_ids) if i >= 0}
+        assert detected_ids == visible_ids
+
+    def test_masks_match_id_buffer(self, small_dataset):
+        view = small_dataset.train_views[0]
+        for detection in OracleDetector().detect(view):
+            assert np.array_equal(detection.mask, view.object_ids == detection.instance_id)
+            assert detection.pixel_count == int(detection.mask.sum())
+
+    def test_min_pixels_filters_tiny_detections(self, small_dataset):
+        view = small_dataset.train_views[0]
+        detections = OracleDetector().detect(view, min_pixels=10**6)
+        assert detections == []
+
+    def test_bbox_encloses_mask(self, small_dataset):
+        view = small_dataset.train_views[0]
+        for detection in OracleDetector().detect(view):
+            row0, col0, row1, col1 = detection.bbox
+            assert detection.mask[row0:row1, col0:col1].sum() == detection.pixel_count
+
+
+class TestConnectedComponentsDetector:
+    def test_detects_foreground_regions(self, small_dataset):
+        view = small_dataset.train_views[0]
+        detections = ConnectedComponentsDetector().detect(view)
+        assert len(detections) >= 1
+        total_pixels = sum(d.pixel_count for d in detections)
+        assert total_pixels >= 0.8 * view.hit_mask.sum()
+
+    def test_detects_from_raw_image(self):
+        image = np.ones((32, 32, 3))
+        image[4:12, 4:12] = 0.2
+        image[20:28, 18:30] = 0.5
+        detections = ConnectedComponentsDetector().detect(image)
+        assert len(detections) == 2
+        assert all(d.instance_id < 0 for d in detections)
+
+    def test_ignores_small_specks(self):
+        image = np.ones((32, 32, 3))
+        image[5, 5] = 0.0
+        assert ConnectedComponentsDetector().detect(image, min_pixels=4) == []
+
+
+class TestMaskUtilities:
+    def test_pixel_counts_across_views(self, small_dataset):
+        detector = OracleDetector()
+        detections_per_view = [detector.detect(view) for view in small_dataset.train_views]
+        counts = mask_pixel_counts(detections_per_view, 0)
+        assert len(counts) == small_dataset.num_train
+        assert max(counts) > 0
+
+    def test_pixel_counts_zero_when_absent(self):
+        assert mask_pixel_counts([[], []], instance_id=3) == [0, 0]
+
+    def test_iou_identity_and_disjoint(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[:4] = True
+        assert mask_iou(mask, mask) == 1.0
+        assert mask_iou(mask, ~mask) == 0.0
+        assert mask_iou(np.zeros((4, 4), bool), np.zeros((4, 4), bool)) == 1.0
+
+    def test_iou_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mask_iou(np.zeros((4, 4), bool), np.zeros((5, 4), bool))
+
+    def test_merge_masks_is_union(self):
+        a = np.zeros((6, 6), dtype=bool)
+        b = np.zeros((6, 6), dtype=bool)
+        a[0, 0] = True
+        b[5, 5] = True
+        merged = merge_masks([a, b])
+        assert merged.sum() == 2
+        with pytest.raises(ValueError):
+            merge_masks([])
+
+
+class TestCropAndEnlarge:
+    def _image_with_square(self, size=64, lo=20, hi=36):
+        image = np.ones((size, size, 3))
+        mask = np.zeros((size, size), dtype=bool)
+        mask[lo:hi, lo:hi] = True
+        image[mask] = [0.8, 0.2, 0.1]
+        return image, mask
+
+    def test_enlarged_image_keeps_resolution(self):
+        image, mask = self._image_with_square()
+        crop = crop_and_enlarge(image, mask)
+        assert crop.image.shape == image.shape
+        assert crop.mask.shape == mask.shape
+
+    def test_object_fills_more_of_the_frame(self):
+        """The whole point of interpolation scaling: the object's pixel
+        footprint grows, lowering the detail frequency the dedicated NeRF
+        must learn."""
+        image, mask = self._image_with_square()
+        crop = crop_and_enlarge(image, mask)
+        assert crop.mask.sum() > 4 * mask.sum()
+        assert crop.scale_factor > 2.0
+
+    def test_colour_preserved_in_enlarged_object(self):
+        image, mask = self._image_with_square()
+        crop = crop_and_enlarge(image, mask)
+        center = crop.image[crop.image.shape[0] // 2, crop.image.shape[1] // 2]
+        assert np.allclose(center, [0.8, 0.2, 0.1], atol=0.05)
+
+    def test_background_outside_object_is_fill_colour(self):
+        image, mask = self._image_with_square()
+        crop = crop_and_enlarge(image, mask, background=(0.0, 1.0, 0.0))
+        assert np.allclose(crop.image[~crop.mask].mean(axis=0), [0.0, 1.0, 0.0], atol=0.2)
+
+    def test_empty_mask_raises(self):
+        image = np.ones((16, 16, 3))
+        with pytest.raises(ValueError):
+            crop_and_enlarge(image, np.zeros((16, 16), dtype=bool))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            crop_and_enlarge(np.ones((16, 16, 3)), np.zeros((8, 8), dtype=bool))
+
+    def test_already_large_object_scale_near_one(self):
+        image, mask = self._image_with_square(size=64, lo=2, hi=62)
+        crop = crop_and_enlarge(image, mask, margin=0)
+        assert crop.scale_factor == pytest.approx(1.0, abs=0.15)

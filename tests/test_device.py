@@ -1,0 +1,117 @@
+"""Tests for the mobile-device simulator (memory model and FPS traces)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import (
+    DEVICE_LIBRARY,
+    IPHONE_13,
+    PIXEL_4,
+    DeviceProfile,
+    MemoryModel,
+    RenderSimulator,
+    simulate_fps_trace,
+)
+
+
+class TestDeviceProfiles:
+    def test_paper_budgets(self):
+        assert IPHONE_13.memory_budget_mb == 240.0
+        assert PIXEL_4.memory_budget_mb == 150.0
+
+    def test_library_contains_both_devices(self):
+        assert set(DEVICE_LIBRARY) == {"iphone13", "pixel4"}
+
+    def test_iphone_is_faster_than_pixel(self):
+        assert IPHONE_13.compute_score > PIXEL_4.compute_score
+        assert IPHONE_13.steady_state_fps(150.0) > PIXEL_4.steady_state_fps(150.0)
+
+    def test_frame_time_monotone_in_size(self):
+        assert IPHONE_13.frame_time_ms(200.0) > IPHONE_13.frame_time_ms(100.0)
+
+    def test_excess_penalty_kicks_in_above_budget(self):
+        below = PIXEL_4.frame_time_ms(150.0)
+        above = PIXEL_4.frame_time_ms(151.0)
+        assert (above - below) > (PIXEL_4.frame_time_ms(150.0) - PIXEL_4.frame_time_ms(149.0))
+
+    def test_unloadable_size_gives_zero_fps(self):
+        assert IPHONE_13.steady_state_fps(300.0) == 0.0
+
+    def test_paper_fps_targets(self):
+        """The calibration of the frame-time model reproduces the paper's
+        headline numbers: ~35 FPS on iPhone and ~25 FPS on Pixel for
+        NeRFlex-sized data, and roughly half that for oversized data on the
+        Pixel."""
+        assert 30.0 <= IPHONE_13.steady_state_fps(230.0, num_submodels=5) <= 40.0
+        assert 20.0 <= PIXEL_4.steady_state_fps(145.0, num_submodels=5) <= 30.0
+        assert PIXEL_4.steady_state_fps(280.0) < 0.6 * PIXEL_4.steady_state_fps(145.0)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", memory_budget_mb=0, hard_memory_limit_mb=10)
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", memory_budget_mb=10, hard_memory_limit_mb=10, compute_score=0)
+        with pytest.raises(ValueError):
+            IPHONE_13.frame_time_ms(-1.0)
+
+
+class TestMemoryModel:
+    def test_iphone_refuses_oversized_data(self):
+        outcome = MemoryModel(IPHONE_13).try_load(260.0)
+        assert not outcome.loaded
+        assert "exceeds" in outcome.reason
+
+    def test_pixel_loads_oversized_data(self):
+        outcome = MemoryModel(PIXEL_4).try_load(260.0)
+        assert outcome.loaded
+        assert outcome.load_time_s > 0.0
+
+    def test_within_budget(self):
+        memory = MemoryModel(PIXEL_4)
+        assert memory.within_budget(150.0)
+        assert not memory.within_budget(150.1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(IPHONE_13).try_load(-5.0)
+
+
+class TestRenderSimulator:
+    def test_failed_load_gives_failed_trace(self):
+        trace = simulate_fps_trace(IPHONE_13, size_mb=300.0, num_frames=100)
+        assert trace.failed
+        assert trace.average == 0.0
+
+    def test_trace_length_and_positivity(self):
+        trace = simulate_fps_trace(IPHONE_13, size_mb=200.0, num_frames=500)
+        assert trace.num_frames == 500
+        assert np.all(trace.fps > 0.0)
+
+    def test_steady_state_matches_analytic_model(self):
+        trace = simulate_fps_trace(PIXEL_4, size_mb=140.0, num_submodels=5, num_frames=2000)
+        analytic = PIXEL_4.steady_state_fps(140.0, num_submodels=5)
+        assert trace.steady_state_average() == pytest.approx(analytic, rel=0.1)
+
+    def test_loading_phase_is_slower(self):
+        trace = simulate_fps_trace(IPHONE_13, size_mb=200.0, num_frames=2000)
+        loading = trace.fps[:50].mean()
+        steady = trace.fps[500:].mean()
+        assert loading < steady
+
+    def test_deterministic_for_fixed_seed(self):
+        a = RenderSimulator(IPHONE_13, seed=3).simulate(100.0, num_frames=200)
+        b = RenderSimulator(IPHONE_13, seed=3).simulate(100.0, num_frames=200)
+        assert np.array_equal(a.fps, b.fps)
+
+    def test_invalid_frame_count(self):
+        with pytest.raises(ValueError):
+            RenderSimulator(IPHONE_13).simulate(100.0, num_frames=0)
+
+    @given(size=st.floats(1.0, 400.0))
+    @settings(max_examples=20, deadline=None)
+    def test_larger_data_never_renders_faster(self, size):
+        smaller = PIXEL_4.steady_state_fps(size)
+        larger = PIXEL_4.steady_state_fps(size + 20.0)
+        assert larger <= smaller + 1e-9

@@ -1,0 +1,159 @@
+"""Unit and property tests for the image-quality and FPS metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import FPSTrace, lpips_proxy, mse, psnr, ssim, summarize_fps
+
+
+def _random_image(seed: int, size: int = 32) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(size=(size, size, 3))
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self):
+        image = _random_image(0)
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_reduces_ssim(self):
+        image = _random_image(1)
+        noisy = np.clip(image + 0.25 * np.random.default_rng(2).standard_normal(image.shape), 0, 1)
+        assert ssim(image, noisy) < 0.95
+
+    def test_more_noise_is_worse(self):
+        image = _random_image(3)
+        rng = np.random.default_rng(4)
+        noise = rng.standard_normal(image.shape)
+        slightly = np.clip(image + 0.05 * noise, 0, 1)
+        heavily = np.clip(image + 0.4 * noise, 0, 1)
+        assert ssim(image, heavily) < ssim(image, slightly)
+
+    def test_symmetry(self):
+        a, b = _random_image(5), _random_image(6)
+        assert ssim(a, b) == pytest.approx(ssim(b, a), abs=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((9, 8)))
+
+    def test_masked_ssim_isolates_region(self):
+        image = _random_image(7)
+        corrupted = image.copy()
+        corrupted[16:, :, :] = 0.0
+        # Far from the corruption boundary the masked score is ~1; inside the
+        # corrupted region it collapses.  (Rows adjacent to the boundary are
+        # excluded because the Gaussian window mixes both regions there.)
+        mask_clean = np.zeros((32, 32), dtype=bool)
+        mask_clean[:8] = True
+        mask_corrupt = np.zeros((32, 32), dtype=bool)
+        mask_corrupt[24:] = True
+        assert ssim(image, corrupted, mask=mask_clean) == pytest.approx(1.0, abs=1e-3)
+        assert ssim(image, corrupted, mask=mask_corrupt) < 0.5
+
+    def test_empty_mask_raises(self):
+        image = _random_image(8)
+        with pytest.raises(ValueError):
+            ssim(image, image, mask=np.zeros((32, 32), dtype=bool))
+
+    def test_return_map_shape(self):
+        image = _random_image(9)
+        value, ssim_map = ssim(image, image, return_map=True)
+        assert ssim_map.shape == (32, 32)
+        assert value == pytest.approx(float(ssim_map.mean()))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded(self, seed):
+        a = _random_image(seed, size=16)
+        b = _random_image(seed + 1, size=16)
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        image = _random_image(10)
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-6)
+
+    def test_mse_matches_definition(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_monotone_in_error(self):
+        image = _random_image(11)
+        small = np.clip(image + 0.02, 0, 1)
+        large = np.clip(image + 0.2, 0, 1)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((5, 4)))
+
+
+class TestLPIPSProxy:
+    def test_identical_is_zero(self):
+        image = _random_image(12, size=48)
+        assert lpips_proxy(image, image) == pytest.approx(0.0, abs=1e-12)
+
+    def test_blur_increases_distance(self):
+        from scipy.ndimage import gaussian_filter
+
+        image = _random_image(13, size=48)
+        light_blur = gaussian_filter(image, sigma=(0.5, 0.5, 0))
+        heavy_blur = gaussian_filter(image, sigma=(3.0, 3.0, 0))
+        assert lpips_proxy(image, heavy_blur) > lpips_proxy(image, light_blur)
+
+    def test_symmetry(self):
+        a, b = _random_image(14, 48), _random_image(15, 48)
+        assert lpips_proxy(a, b) == pytest.approx(lpips_proxy(b, a), rel=1e-9)
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            lpips_proxy(np.zeros((4, 4)), np.zeros((4, 4)))
+
+    def test_uniform_shift_barely_matters(self):
+        """A small uniform brightness shift should cost far less than
+        structural damage of comparable magnitude — the perceptual property
+        that distinguishes LPIPS-like metrics from MSE."""
+        image = _random_image(16, size=48)
+        shifted = np.clip(image + 0.08, 0, 1)
+        scrambled = image.copy()
+        scrambled[::2, ::2] = 1.0 - scrambled[::2, ::2]
+        assert lpips_proxy(image, shifted) < lpips_proxy(image, scrambled)
+
+
+class TestFPSTrace:
+    def test_average(self):
+        trace = FPSTrace(fps=np.array([30.0, 40.0, 50.0]))
+        assert trace.average == pytest.approx(40.0)
+
+    def test_failed_trace_reports_zero(self):
+        trace = FPSTrace(fps=np.zeros(10), failed=True)
+        assert trace.average == 0.0
+        assert trace.stutter_rate() == 1.0
+
+    def test_steady_state_excludes_warmup(self):
+        fps = np.concatenate([np.full(10, 5.0), np.full(90, 30.0)])
+        trace = FPSTrace(fps=fps)
+        assert trace.steady_state_average(warmup_fraction=0.1) == pytest.approx(30.0)
+        assert trace.average < 30.0
+
+    def test_stutter_rate_counts_slow_frames(self):
+        fps = np.full(100, 30.0)
+        fps[10:15] = 5.0
+        trace = FPSTrace(fps=fps)
+        assert 0.0 < trace.stutter_rate() <= 0.06
+
+    def test_summary_keys(self):
+        summary = summarize_fps(FPSTrace(fps=np.full(20, 24.0)))
+        assert summary["average_fps"] == pytest.approx(24.0)
+        assert summary["failed"] is False
+        assert summary["num_frames"] == 20

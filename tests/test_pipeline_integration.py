@@ -1,0 +1,167 @@
+"""Integration tests: the full NeRFlex pipeline and the baselines on a small scene.
+
+These use a deliberately tiny configuration space and low resolutions so the
+whole file runs in well under a minute while still exercising every stage:
+segmentation -> profiling -> selection -> baking -> deployment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlockNeRFBaseline,
+    MipNeRF360Emulator,
+    NGPEmulator,
+    SingleNeRFBaseline,
+)
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.pipeline import NeRFlexPipeline, PipelineConfig, evaluate_baked_deployment
+from repro.core.selector_baselines import FairnessSelector
+from repro.device.models import DeviceProfile
+
+#: A small "device" whose budget binds for the tiny test scene.
+TINY_DEVICE = DeviceProfile(
+    name="tiny-device",
+    memory_budget_mb=6.0,
+    hard_memory_limit_mb=6.0,
+    compute_score=1.0,
+)
+
+TINY_CONFIG = PipelineConfig(
+    config_space=ConfigurationSpace(granularities=(8, 12, 16, 24), patch_sizes=(1, 2)),
+    profile_resolution=56,
+    num_eval_views=1,
+    num_fps_frames=200,
+    object_eval_resolution=64,
+    apply_degradation=True,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(small_dataset):
+    cache = {}
+    pipeline = NeRFlexPipeline(TINY_DEVICE, TINY_CONFIG, measurement_cache=cache)
+    preparation, multi_model, report = pipeline.run(small_dataset)
+    return pipeline, preparation, multi_model, report
+
+
+class TestPipeline:
+    def test_preparation_produces_profiles_and_selection(self, pipeline_run):
+        _, preparation, _, _ = pipeline_run
+        assert len(preparation.profiles) == len(preparation.segmentation.sub_scenes)
+        assert set(preparation.selection.assignments) == {
+            sub.name for sub in preparation.segmentation.sub_scenes
+        }
+
+    def test_overhead_split_has_all_three_stages(self, pipeline_run):
+        _, preparation, _, _ = pipeline_run
+        overhead = preparation.overhead_seconds
+        assert set(overhead) == {"segmentation", "profiler", "solver"}
+        assert all(value >= 0 for value in overhead.values())
+
+    def test_baked_bundle_fits_device_budget(self, pipeline_run):
+        _, _, multi_model, report = pipeline_run
+        assert multi_model.size_mb() <= TINY_DEVICE.memory_budget_mb + 1e-6
+        assert report.loaded
+        assert report.size_mb == pytest.approx(multi_model.size_mb())
+
+    def test_report_quality_is_reasonable(self, pipeline_run):
+        _, _, _, report = pipeline_run
+        assert report.ssim > 0.75
+        assert report.psnr > 14.0
+        assert 0.0 <= report.lpips < 0.2
+        assert report.average_fps > 10.0
+        assert set(report.per_object_ssim) == {"sphere", "cube"}
+
+    def test_selected_configs_come_from_space(self, pipeline_run):
+        _, preparation, _, _ = pipeline_run
+        for config in preparation.selection.assignments.values():
+            assert config in TINY_CONFIG.config_space
+
+    def test_measurement_cache_reused_across_devices(self, pipeline_run, small_dataset):
+        pipeline, _, _, _ = pipeline_run
+        cache_size = len(pipeline.measurement_cache)
+        other_device = DeviceProfile(
+            name="bigger", memory_budget_mb=12.0, hard_memory_limit_mb=12.0
+        )
+        second = NeRFlexPipeline(
+            other_device, TINY_CONFIG, measurement_cache=pipeline.measurement_cache
+        )
+        second.prepare(small_dataset)
+        # No new profiling measurements were needed (only cached entries reused).
+        measurement_keys = [
+            key for key in pipeline.measurement_cache if isinstance(key[-1], int)
+        ]
+        assert len(pipeline.measurement_cache) >= cache_size
+        assert measurement_keys
+
+    def test_fairness_selector_plugs_in(self, small_dataset, pipeline_run):
+        pipeline, _, _, dp_report = pipeline_run
+        fairness = NeRFlexPipeline(
+            TINY_DEVICE,
+            TINY_CONFIG,
+            selector=FairnessSelector(),
+            measurement_cache=pipeline.measurement_cache,
+        )
+        preparation, multi_model, report = fairness.run(small_dataset)
+        assert report.loaded
+        # The DP never does worse than Fairness in predicted total quality.
+        assert (
+            dp_report.selection.total_predicted_quality
+            >= preparation.selection.total_predicted_quality - 1e-6
+        )
+
+    def test_report_describe_is_serialisable(self, pipeline_run):
+        import json
+
+        _, _, _, report = pipeline_run
+        payload = json.dumps(report.describe())
+        assert "NeRFlex" in payload
+
+
+class TestBaselines:
+    def test_single_nerf_baseline_runs(self, small_dataset):
+        baseline = SingleNeRFBaseline(config=Configuration(24, 2))
+        report = baseline.run(small_dataset, TINY_DEVICE, num_eval_views=1, num_fps_frames=100)
+        assert report.method == SingleNeRFBaseline.method_name
+        assert report.size_mb > 0
+        assert report.num_submodels == 1
+
+    def test_block_nerf_uses_one_model_per_object(self, small_dataset):
+        baseline = BlockNeRFBaseline(config=Configuration(16, 1))
+        multi_model = baseline.bake(small_dataset)
+        assert multi_model.num_submodels == len(small_dataset.scene.placed)
+
+    def test_block_nerf_bigger_than_single(self, small_dataset):
+        config = Configuration(16, 1)
+        single = SingleNeRFBaseline(config=config).bake(small_dataset)
+        block = BlockNeRFBaseline(config=config).bake(small_dataset)
+        assert block.size_mb() > single.size_mb()
+
+    def test_field_emulators_quality_ordering(self, small_dataset):
+        """Stronger networks (NGP) resolve more detail than Mip-NeRF 360 on
+        the same training coverage."""
+        ngp = NGPEmulator(seed=0).run(small_dataset, num_eval_views=1)
+        mip = MipNeRF360Emulator(seed=0).run(small_dataset, num_eval_views=1)
+        assert ngp.ssim >= mip.ssim - 1e-3
+        assert 0.0 < ngp.ssim <= 1.0
+        assert ngp.describe()["method"] == "Instant-NGP"
+
+    def test_emulator_invalid_renderer(self):
+        with pytest.raises(ValueError):
+            NGPEmulator(renderer="raster")
+
+    def test_evaluate_deployment_failed_load(self, small_dataset):
+        baseline = SingleNeRFBaseline(config=Configuration(48, 4))
+        multi_model = baseline.bake(small_dataset)
+        report = evaluate_baked_deployment(
+            multi_model,
+            small_dataset,
+            TINY_DEVICE,
+            method="oversized",
+            num_eval_views=1,
+            num_fps_frames=100,
+        )
+        assert not report.loaded
+        assert report.ssim == 0.0
+        assert report.fps_trace.failed
