@@ -44,11 +44,19 @@ def profiled_object():
     )[0]
     reference = render_scene(scene, camera)
     cache: dict = {}
+    geometry_cache: dict = {}  # voxelisation depends only on g, not p
 
     def measure(config: Configuration):
         key = config.as_tuple()
         if key not in cache:
-            baked = bake_field(scene, config.granularity, config.patch_size, name="lego")
+            baked = bake_field(
+                scene,
+                config.granularity,
+                config.patch_size,
+                name="lego",
+                geometry=geometry_cache.get(config.granularity),
+            )
+            geometry_cache.setdefault(config.granularity, (baked.grid, baked.faces))
             rendered = render_baked(baked, camera)
             cache[key] = (ssim(reference.rgb, rendered.rgb), baked.size_mb())
         return cache[key]

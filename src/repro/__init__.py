@@ -46,6 +46,8 @@ _LAZY_EXPORTS = {
     "DeviceProfile": ("repro.device.models", "DeviceProfile"),
     "IPHONE_13": ("repro.device.models", "IPHONE_13"),
     "PIXEL_4": ("repro.device.models", "PIXEL_4"),
+    "RenderEngine": ("repro.render.engine", "RenderEngine"),
+    "RenderCache": ("repro.render.cache", "RenderCache"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

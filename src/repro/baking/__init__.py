@@ -27,6 +27,7 @@ from repro.baking.baked_model import (
     BakedMultiModel,
     SizeConstants,
     bake_field,
+    bake_geometry,
 )
 from repro.baking.renderer import render_baked, render_baked_multi
 
@@ -42,6 +43,7 @@ __all__ = [
     "BakedMultiModel",
     "SizeConstants",
     "bake_field",
+    "bake_geometry",
     "render_baked",
     "render_baked_multi",
 ]

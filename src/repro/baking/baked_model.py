@@ -25,19 +25,31 @@ class SizeConstants:
 
     The constants model the multi-modal data a mesh-assisted NeRF ships to
     the device: vertex/index buffers for the quad mesh, feature texels (the
-    deferred-shading features MobileNeRF stores per texel), the dense
-    per-grid-cell volume data (alpha mask / feature-indirection volume,
-    which scales with ``g^3`` for every network regardless of content), a
-    per-occupied-voxel entry in the sparse index and the small decoder MLP.
-    They are calibration constants — chosen so that the reference
-    configurations land in the same size regime the paper reports (one
-    network at the recommended configuration is a few hundred MB) — and
-    every size the library reports is derived from them.
+    deferred-shading features MobileNeRF stores per texel), the per-grid-cell
+    volume data (a compressed alpha/indirection volume that scales with
+    ``g^3``), a per-occupied-voxel entry in the sparse index and the small
+    decoder MLP.  They are calibration constants — chosen so that the
+    reference configurations land in the same size regime the paper reports
+    (one network at the recommended configuration is a few hundred MB) —
+    and every size the library reports is derived from them.
+
+    Calibration notes.  The reproduction renders and scores at 100–200 px,
+    so its patch sizes are scaled down from the paper's (``p <= 8`` instead
+    of ``p <= 41``, see EXPERIMENTS.md); one reproduction texel therefore
+    stands for roughly ``(800/128)^2 ~ 39`` device texels of ~10 bytes of
+    deferred-shading features, giving ``texel_bytes = 384``.  The volume
+    data is a compressed occupancy/indirection grid at ~4 bytes per cell —
+    **not** a fat dense payload: an earlier calibration charged 128 B/cell,
+    which made the ``g^3`` term dominate every model, priced the granularity
+    the detail objects need (``g ~ 96``) out of any mobile budget and caused
+    the Fig. 4 detail-region quality regression.  With the byte budget
+    carried by textures and geometry (as in real MobileNeRF-class bundles),
+    the selector can buy detail where the paper says it should.
     """
 
     geometry_bytes_per_face: float = 96.0
-    texel_bytes: float = 24.0
-    dense_grid_bytes_per_cell: float = 128.0
+    texel_bytes: float = 384.0
+    dense_grid_bytes_per_cell: float = 4.0
     voxel_index_bytes: float = 16.0
     mlp_bytes: float = 8192.0
     header_bytes: float = 4096.0
@@ -174,6 +186,55 @@ def make_radiance_fn(field, normal_epsilon: float = 1e-3):
     return radiance
 
 
+def field_cache_identity(field) -> tuple:
+    """A hashable identity of the *content* a field voxelises to.
+
+    Geometry caches shared across pipelines key on this in addition to the
+    dataset/sub-scene name, so two fields that merely share a name (e.g.
+    the same object under a different segmentation threshold or a
+    different degradation scale) can never collide: the identity captures
+    the placed instance ids of the underlying scene subset and the
+    degradation detail scale, the two inputs that determine the SDF.
+    """
+    base = getattr(field, "base", field)
+    placed = getattr(base, "placed", None)
+    instance_ids = (
+        tuple(int(p.instance_id) for p in placed) if placed is not None else None
+    )
+    detail_scale = getattr(field, "detail_scale", None)
+    return (
+        instance_ids,
+        None if detail_scale is None else round(float(detail_scale), 12),
+    )
+
+
+def bake_geometry(
+    field,
+    granularity: int,
+    occupancy_threshold: "float | None" = None,
+    padding: float = 0.06,
+) -> tuple:
+    """Voxelise a field and extract its boundary quad faces.
+
+    The geometry of a bake depends only on the granularity knob ``g`` (never
+    on the texture knob ``p``), so profilers sweeping many ``(g, p)`` pairs
+    can compute it once per ``g`` and hand it to :func:`bake_field` via its
+    ``geometry`` argument instead of re-voxelising for every patch size.
+
+    Returns:
+        ``(grid, faces)`` — the occupancy grid and its quad faces.
+    """
+    grid = voxelize_field(
+        field,
+        resolution=granularity,
+        padding=padding,
+        occupancy_threshold=(
+            occupancy_threshold if occupancy_threshold is not None else 0.0
+        ),
+    )
+    return grid, extract_quad_faces(grid)
+
+
 def bake_field(
     field,
     granularity: int,
@@ -183,6 +244,7 @@ def bake_field(
     size_constants: SizeConstants = DEFAULT_SIZE_CONSTANTS,
     occupancy_threshold: "float | None" = None,
     padding: float = 0.06,
+    geometry: "tuple | None" = None,
 ) -> BakedSubModel:
     """Bake a field into the mesh + texture representation.
 
@@ -200,18 +262,24 @@ def bake_field(
             of the voxel size (slightly conservative so thin structures
             survive at coarse granularity).
         padding: fractional padding applied around the field bounds.
+        geometry: optional pre-computed ``(grid, faces)`` from
+            :func:`bake_geometry` (must match ``granularity``); lets callers
+            reuse the voxelisation across texture knobs.
     """
-    grid = voxelize_field(
-        field,
-        resolution=granularity,
-        padding=padding,
-        occupancy_threshold=(
-            occupancy_threshold
-            if occupancy_threshold is not None
-            else 0.0
-        ),
-    )
-    faces = extract_quad_faces(grid)
+    if geometry is not None:
+        grid, faces = geometry
+        if grid.resolution != int(granularity):
+            raise ValueError(
+                f"precomputed geometry at resolution {grid.resolution} does not "
+                f"match granularity {granularity}"
+            )
+    else:
+        grid, faces = bake_geometry(
+            field,
+            granularity,
+            occupancy_threshold=occupancy_threshold,
+            padding=padding,
+        )
     radiance = make_radiance_fn(field)
     if materialize_textures:
         texture: "TextureAtlas | LazyTexture" = bake_texture_atlas(

@@ -1,146 +1,22 @@
-"""Renderer for baked models: a vectorised occupancy-grid ray marcher.
+"""Renderer for baked models: thin wrappers over the shared render engine.
 
 This plays the role of the WebGL rasteriser on the mobile device: it draws
 the baked quad mesh with its textures.  Rays are marched through the voxel
 grid to the first occupied cell, the entry face of that cell is identified
 and its texture patch is sampled.  Several baked sub-models (the multi-NeRF
 case) are composited by depth.
+
+The marching itself lives in :class:`repro.render.RenderEngine` (the unified
+batched marcher shared with the sphere tracer and the volume renderer); the
+functions here keep the historical module-level API working.  Use the engine
+directly for cross-view batching and render caching.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baking.baked_model import BakedMultiModel, BakedSubModel
-from repro.baking.meshing import _TANGENT_AXES
-from repro.scenes.cameras import Camera, camera_rays
+from repro.scenes.cameras import Camera
 from repro.scenes.raytrace import RenderResult
-
-
-def _face_keys(model: BakedSubModel) -> tuple:
-    """Sorted integer keys for (voxel, axis, sign) face lookup."""
-    g = model.grid.resolution
-    idx = model.faces.voxel_indices
-    voxel_key = (idx[:, 0] * g + idx[:, 1]) * g + idx[:, 2]
-    face_key = voxel_key * 6 + model.faces.axes * 2 + (model.faces.signs > 0)
-    order = np.argsort(face_key, kind="stable")
-    return face_key[order], order, voxel_key[order]
-
-
-def _ray_aabb(origins, directions, lo, hi):
-    """Slab-method ray/AABB intersection; returns (t_near, t_far)."""
-    with np.errstate(divide="ignore", invalid="ignore"):
-        inv = 1.0 / directions
-    t_lo = (lo - origins) * inv
-    t_hi = (hi - origins) * inv
-    t_near = np.nanmax(np.minimum(t_lo, t_hi), axis=1)
-    t_far = np.nanmin(np.maximum(t_lo, t_hi), axis=1)
-    return t_near, t_far
-
-
-def _render_single(
-    model: BakedSubModel,
-    origins: np.ndarray,
-    directions: np.ndarray,
-    step_scale: float,
-    chunk_rays: int,
-) -> tuple:
-    """First-hit rendering of one baked model.
-
-    Returns ``(colors, depths, hit_mask)`` flat arrays over all rays; rays
-    that do not hit the model keep ``depth = inf`` and ``hit = False``.
-    """
-    num_rays = origins.shape[0]
-    colors = np.zeros((num_rays, 3))
-    depths = np.full(num_rays, np.inf)
-    hits = np.zeros(num_rays, dtype=bool)
-
-    if model.faces.num_faces == 0:
-        return colors, depths, hits
-
-    grid = model.grid
-    lo, hi = grid.bounds_min, grid.bounds_max
-    voxel = grid.voxel_size
-    step = voxel * step_scale
-
-    face_keys_sorted, face_order, voxel_keys_sorted = _face_keys(model)
-    g = grid.resolution
-
-    t_near, t_far = _ray_aabb(origins, directions, lo, hi)
-    t_near = np.maximum(t_near, 0.0)
-    candidates = np.flatnonzero(t_far > t_near)
-
-    for start in range(0, candidates.size, chunk_rays):
-        ray_ids = candidates[start : start + chunk_rays]
-        ray_origins = origins[ray_ids]
-        ray_dirs = directions[ray_ids]
-        ray_near = t_near[ray_ids]
-        ray_far = t_far[ray_ids]
-
-        span = float(np.max(ray_far - ray_near))
-        num_steps = max(int(np.ceil(span / step)) + 1, 1)
-        t_samples = ray_near[:, None] + (np.arange(num_steps)[None, :] + 0.5) * step
-        valid = t_samples <= ray_far[:, None]
-
-        points = ray_origins[:, None, :] + t_samples[..., None] * ray_dirs[:, None, :]
-        indices = np.floor((points - lo) / voxel).astype(int)
-        inside = np.all((indices >= 0) & (indices < g), axis=-1)
-        clipped = np.clip(indices, 0, g - 1)
-        occupied = grid.occupancy[clipped[..., 0], clipped[..., 1], clipped[..., 2]]
-        occupied = occupied & inside & valid
-
-        any_hit = occupied.any(axis=1)
-        if not any_hit.any():
-            continue
-        first = occupied.argmax(axis=1)
-        hit_rows = np.flatnonzero(any_hit)
-        hit_voxels = clipped[hit_rows, first[hit_rows]]
-
-        # Exact entry point into the hit voxel (slab test on its AABB).
-        voxel_lo = lo + hit_voxels * voxel
-        voxel_hi = voxel_lo + voxel
-        sub_origins = ray_origins[hit_rows]
-        sub_dirs = ray_dirs[hit_rows]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            inv = 1.0 / sub_dirs
-        t_lo_axis = (voxel_lo - sub_origins) * inv
-        t_hi_axis = (voxel_hi - sub_origins) * inv
-        t_axis_entry = np.minimum(t_lo_axis, t_hi_axis)
-        # Guard against rays parallel to an axis (inv = inf -> t = -inf/nan).
-        t_axis_entry = np.where(np.isfinite(t_axis_entry), t_axis_entry, -np.inf)
-        entry_axis = t_axis_entry.argmax(axis=1)
-        t_entry = np.maximum(t_axis_entry[np.arange(len(hit_rows)), entry_axis], 0.0)
-        entry_points = sub_origins + t_entry[:, None] * sub_dirs
-        entry_sign = np.where(sub_dirs[np.arange(len(hit_rows)), entry_axis] > 0, -1, 1)
-
-        # Face lookup: exact (voxel, axis, sign) key, falling back to any
-        # face of the voxel when marching entered through an interior face.
-        voxel_key = (hit_voxels[:, 0] * g + hit_voxels[:, 1]) * g + hit_voxels[:, 2]
-        face_key = voxel_key * 6 + entry_axis * 2 + (entry_sign > 0)
-        pos = np.searchsorted(face_keys_sorted, face_key)
-        pos = np.clip(pos, 0, len(face_keys_sorted) - 1)
-        found = face_keys_sorted[pos] == face_key
-        face_indices = face_order[pos]
-        if not found.all():
-            fallback_pos = np.searchsorted(voxel_keys_sorted, voxel_key[~found])
-            fallback_pos = np.clip(fallback_pos, 0, len(voxel_keys_sorted) - 1)
-            face_indices[~found] = face_order[fallback_pos]
-
-        # In-face texture coordinates from the entry point.
-        local = (entry_points - voxel_lo) / voxel
-        tangent_u = np.array([_TANGENT_AXES[a][0] for a in entry_axis])
-        tangent_v = np.array([_TANGENT_AXES[a][1] for a in entry_axis])
-        rows = np.arange(len(hit_rows))
-        u = np.clip(local[rows, tangent_u], 0.0, 1.0)
-        v = np.clip(local[rows, tangent_v], 0.0, 1.0)
-
-        sampled = model.texture.sample(face_indices, u, v)
-        global_rows = ray_ids[hit_rows]
-        colors[global_rows] = sampled
-        depths[global_rows] = t_entry
-        hits[global_rows] = True
-
-    return colors, depths, hits
 
 
 def render_baked(
@@ -173,29 +49,10 @@ def render_baked_multi(
     rendered independently and the closest surface wins each pixel, matching
     how the on-device player composites the outputs of multiple NeRFs.
     """
+    from repro.render.engine import engine_for_chunk
+
     if isinstance(multi, list):
         multi = BakedMultiModel(multi)
-    origins, directions = camera_rays(camera)
-    num_rays = origins.shape[0]
-    background = np.asarray(background, dtype=np.float64)
-
-    best_colors = np.tile(background, (num_rays, 1))
-    best_depths = np.full(num_rays, np.inf)
-    best_ids = np.full(num_rays, -1, dtype=int)
-
-    for submodel_index, submodel in enumerate(multi.submodels):
-        colors, depths, hits = _render_single(
-            submodel, origins, directions, step_scale=step_scale, chunk_rays=chunk_rays
-        )
-        closer = hits & (depths < best_depths)
-        best_colors[closer] = colors[closer]
-        best_depths[closer] = depths[closer]
-        best_ids[closer] = submodel_index
-
-    height, width = camera.height, camera.width
-    return RenderResult(
-        rgb=best_colors.reshape(height, width, 3),
-        depth=best_depths.reshape(height, width),
-        object_ids=best_ids.reshape(height, width),
-        hit_mask=(best_ids >= 0).reshape(height, width),
+    return engine_for_chunk(chunk_rays).render_baked(
+        multi, camera, background=background, step_scale=step_scale
     )

@@ -76,8 +76,28 @@ class LazyTexture:
         face_indices = np.asarray(face_indices, dtype=int)
         u_center = _texel_center(np.asarray(u, dtype=np.float64), self.patch_size)
         v_center = _texel_center(np.asarray(v, dtype=np.float64), self.patch_size)
-        points = self.faces.face_points(face_indices, u_center, v_center)
-        return self.radiance_fn(points)
+        # Lookups quantise to texel centres, so any two queries landing in
+        # the same texel of the same face evaluate the radiance at exactly
+        # the same world point.  Deduplicate before evaluating: when the
+        # texture is coarser than the screen sampling (small ``p``), this
+        # cuts the dominant cost of lazy rendering by a large factor while
+        # returning byte-identical colours.
+        p = int(self.patch_size)
+        u_texel = np.minimum((u_center * p).astype(np.int64), p - 1)
+        v_texel = np.minimum((v_center * p).astype(np.int64), p - 1)
+        texel_key = (face_indices.astype(np.int64) * p + u_texel) * p + v_texel
+        unique_keys, inverse = np.unique(texel_key, return_inverse=True)
+        if unique_keys.size == texel_key.size:
+            points = self.faces.face_points(face_indices, u_center, v_center)
+            return self.radiance_fn(points)
+        first_occurrence = np.zeros(unique_keys.size, dtype=np.int64)
+        first_occurrence[inverse[::-1]] = np.arange(texel_key.size - 1, -1, -1)
+        points = self.faces.face_points(
+            face_indices[first_occurrence],
+            u_center[first_occurrence],
+            v_center[first_occurrence],
+        )
+        return self.radiance_fn(points)[inverse]
 
     @property
     def num_faces(self) -> int:

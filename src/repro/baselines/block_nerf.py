@@ -9,7 +9,12 @@ devices can load (Figs. 4-6).
 
 from __future__ import annotations
 
-from repro.baking.baked_model import BakedMultiModel, DEFAULT_SIZE_CONSTANTS, bake_field
+from repro.baking.baked_model import (
+    BakedMultiModel,
+    DEFAULT_SIZE_CONSTANTS,
+    bake_field,
+    field_cache_identity,
+)
 from repro.baselines.single_nerf import RECOMMENDED_SINGLE_CONFIG
 from repro.core.config_space import Configuration
 from repro.core.pipeline import DeploymentReport, evaluate_baked_deployment
@@ -43,8 +48,15 @@ class BlockNeRFBaseline:
         self.size_constants = size_constants
         self.seed = int(seed)
 
-    def bake(self, dataset) -> BakedMultiModel:
-        """Bake one sub-model per object at the fixed configuration."""
+    def bake(self, dataset, geometry_cache: "dict | None" = None) -> BakedMultiModel:
+        """Bake one sub-model per object at the fixed configuration.
+
+        ``geometry_cache`` (optional) shares voxelised geometry with a
+        NeRFlex pipeline's measurement cache: Block-NeRF's per-object fields
+        are built exactly like the pipeline's (same segmentation, same
+        degradation seed), so a granularity already voxelised during
+        profiling is reused instead of re-sampled.
+        """
         segmenter = DetailBasedSegmenter()
         segmentation = segmenter.segment(dataset)
         submodels = []
@@ -58,15 +70,29 @@ class BlockNeRFBaseline:
                 field = DegradedField(truth, detail_scale, seed=self.seed)
             else:
                 field = truth
-            submodels.append(
-                bake_field(
-                    field,
-                    granularity=self.config.granularity,
-                    patch_size=self.config.patch_size,
-                    name=sub_scene.name,
-                    size_constants=self.size_constants,
-                )
+            geometry_key = (
+                "geometry",
+                getattr(dataset, "name", ""),
+                sub_scene.name,
+                field_cache_identity(field),
+                self.seed,
+                self.apply_degradation,
+                self.config.granularity,
             )
+            geometry = (
+                geometry_cache.get(geometry_key) if geometry_cache is not None else None
+            )
+            baked = bake_field(
+                field,
+                granularity=self.config.granularity,
+                patch_size=self.config.patch_size,
+                name=sub_scene.name,
+                size_constants=self.size_constants,
+                geometry=geometry,
+            )
+            if geometry_cache is not None and geometry is None:
+                geometry_cache[geometry_key] = (baked.grid, baked.faces)
+            submodels.append(baked)
         return BakedMultiModel(submodels)
 
     def run(

@@ -29,8 +29,8 @@ from repro.baking.baked_model import (
     DEFAULT_SIZE_CONSTANTS,
     SizeConstants,
     bake_field,
+    field_cache_identity,
 )
-from repro.baking.renderer import render_baked_multi
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.profiler import ObjectProfile, ProfileFitter
 from repro.core.segmentation import DetailBasedSegmenter, SegmentationResult, SubScene
@@ -41,8 +41,8 @@ from repro.device.render_sim import RenderSimulator
 from repro.metrics import lpips_proxy, psnr, ssim
 from repro.metrics.fps import FPSTrace
 from repro.nerf.degradation import DegradedField, coverage_detail_scale
+from repro.render.engine import RenderEngine, default_cache, default_engine
 from repro.scenes.cameras import orbit_cameras
-from repro.scenes.raytrace import render_scene
 from repro.utils.timing import StageTimer
 
 
@@ -69,6 +69,10 @@ class PipelineConfig:
         object_eval_resolution: resolution of the per-object close-up views
             used for per-object quality scores.
         seed: seed for the degradation noise and the FPS simulation.
+        render_chunk_rays: ray-chunk size of the pipeline's render engine
+            (bounds peak memory of the sample-heavy render paths).
+        render_workers: worker threads of the render engine (independent ray
+            chunks march concurrently; output is identical for any count).
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -83,6 +87,8 @@ class PipelineConfig:
     selector_safety_margin: float = 0.04
     object_eval_resolution: int = 176
     seed: int = 0
+    render_chunk_rays: int = 8192
+    render_workers: int = 1
 
 
 @dataclass
@@ -95,6 +101,7 @@ class PreparationResult:
     timers: StageTimer
     fields: dict
     truths: dict
+    dataset_name: str = ""
 
     @property
     def overhead_seconds(self) -> dict:
@@ -180,6 +187,7 @@ def evaluate_baked_deployment(
     overhead_seconds: "dict | None" = None,
     object_eval_resolution: int = 176,
     gt_cache: "dict | None" = None,
+    engine: "RenderEngine | None" = None,
 ) -> DeploymentReport:
     """Score a baked multi-NeRF bundle on a dataset and device.
 
@@ -187,9 +195,13 @@ def evaluate_baked_deployment(
     baselines so every method is evaluated identically.  Scene-level
     quality (SSIM / PSNR / LPIPS) is computed on the dataset's held-out test
     views; per-object quality is computed from object-centred close-up
-    views.  ``gt_cache`` (optional, shared across methods) avoids
-    re-rendering the ground-truth close-ups for every method.
+    views.  Rendering goes through ``engine`` (the shared default engine
+    when omitted), whose ``(scene, camera, quality)`` cache dedupes the
+    ground-truth close-ups and any re-render of the same baked bundle
+    across methods and figures.  ``gt_cache`` (optional legacy dict, shared
+    across methods) is still honoured for the ground-truth close-ups.
     """
+    engine = engine or default_engine()
     size_mb = multi_model.size_mb()
     per_object_size = {model.name: model.size_mb() for model in multi_model.submodels}
 
@@ -205,10 +217,17 @@ def evaluate_baked_deployment(
     ssim_scores, psnr_scores, lpips_scores = [], [], []
     per_object_ssim: dict = {}
     if outcome.loaded:
-        for view, camera in zip(views, dataset.test_cameras):
-            rendered = render_baked_multi(
-                multi_model, camera, background=dataset.scene.background_color
-            )
+        # All test views march in one cross-view ray batch; the baked-model
+        # fingerprint in the cache key dedupes identical re-renders (e.g.
+        # the detail-region metrics scoring the same bundle later).
+        test_cameras = dataset.test_cameras[: len(views)]
+        rendered_views = engine.render_baked_views(
+            multi_model,
+            test_cameras,
+            background=dataset.scene.background_color,
+            scene_key=dataset.name,
+        )
+        for view, rendered in zip(views, rendered_views):
             ssim_scores.append(ssim(view.rgb, rendered.rgb))
             psnr_scores.append(psnr(view.rgb, rendered.rgb))
             lpips_scores.append(lpips_proxy(view.rgb, rendered.rgb))
@@ -220,7 +239,9 @@ def evaluate_baked_deployment(
             camera = cameras[name]
             gt_key = (dataset.name, name, object_eval_resolution)
             if gt_key not in cache:
-                cache[gt_key] = render_scene(dataset.scene, camera)
+                cache[gt_key] = engine.render_scene(
+                    dataset.scene, camera, scene_key=(dataset.name, "scene-gt")
+                )
             reference = cache[gt_key]
             # Only sub-models whose grid lies near the object can appear in
             # its close-up view; skipping the rest keeps evaluation cheap.
@@ -234,10 +255,11 @@ def evaluate_baked_deployment(
                 )
                 if np.linalg.norm(grid_center - target_center) <= grid_radius + 2.0 * target_extent:
                     nearby.append(submodel)
-            rendered = render_baked_multi(
+            rendered = engine.render_baked(
                 BakedMultiModel(nearby) if nearby else multi_model,
                 camera,
                 background=dataset.scene.background_color,
+                scene_key=dataset.name,
             )
             if reference.object_mask(placed.instance_id).sum() < 16:
                 continue
@@ -272,8 +294,12 @@ class NeRFlexPipeline:
         segmenter: detail-based segmenter (a default one is built from the
             config when omitted).
         measurement_cache: optional dict shared between pipelines so that
-            profiler measurements (which do not depend on the device) are
-            reused across devices and selectors.
+            profiler measurements and bake geometry (which do not depend on
+            the device) are reused across devices and selectors.  Rendered
+            views are cached separately by the render engine.
+        engine: render engine used for every ground-truth and baked render;
+            defaults to one built from the config's chunk/worker knobs that
+            shares the process-wide render cache.
     """
 
     def __init__(
@@ -283,6 +309,7 @@ class NeRFlexPipeline:
         selector=None,
         segmenter: "DetailBasedSegmenter | None" = None,
         measurement_cache: "dict | None" = None,
+        engine: "RenderEngine | None" = None,
     ) -> None:
         self.device = device
         self.config = config or PipelineConfig()
@@ -291,6 +318,11 @@ class NeRFlexPipeline:
             frequency_threshold=self.config.frequency_threshold
         )
         self.measurement_cache = measurement_cache if measurement_cache is not None else {}
+        self.engine = engine or RenderEngine(
+            chunk_rays=self.config.render_chunk_rays,
+            workers=self.config.render_workers,
+            cache=default_cache(),
+        )
 
     # -- preparation ---------------------------------------------------------
 
@@ -314,6 +346,18 @@ class NeRFlexPipeline:
                 measure = self._make_measure_fn(dataset, sub_scene, truth, field_model)
                 profiles.append(fitter.fit(sub_scene.name, measure))
 
+        # Detail weights: the selector's objective follows the segmentation
+        # module's detail frequencies (normalised to mean 1), so texture
+        # budget flows toward the high-frequency region the paper evaluates
+        # rather than being spent on low-detail backdrops.
+        frequencies = np.array(
+            [sub.max_frequency for sub in segmentation.sub_scenes], dtype=np.float64
+        )
+        mean_frequency = float(frequencies.mean())
+        if mean_frequency > 0:
+            for profile, sub_scene in zip(profiles, segmentation.sub_scenes):
+                profile.detail_weight = float(sub_scene.max_frequency / mean_frequency)
+
         with timers.time("solver"):
             selector_budget = self.device.memory_budget_mb * (
                 1.0 - self.config.selector_safety_margin
@@ -327,6 +371,7 @@ class NeRFlexPipeline:
             timers=timers,
             fields=fields,
             truths=truths,
+            dataset_name=getattr(dataset, "name", ""),
         )
 
     def _build_field(self, truth, sub_scene: SubScene):
@@ -350,33 +395,38 @@ class NeRFlexPipeline:
         )
 
     def _make_measure_fn(self, dataset, sub_scene: SubScene, truth, field_model):
-        """Build the profiler's measurement callback for one sub-scene."""
+        """Build the profiler's measurement callback for one sub-scene.
+
+        Ground-truth close-ups render once through the engine cache; bake
+        geometry is voxelised once per granularity (it never depends on the
+        texture knob) and shared across every ``(g, p)`` sample and across
+        pipelines through ``measurement_cache``.
+        """
         cameras = self._profile_cameras(truth)
-        gt_key = (dataset.name, sub_scene.name, "gt")
-        if gt_key not in self.measurement_cache:
-            self.measurement_cache[gt_key] = [
-                render_scene(truth, camera) for camera in cameras
-            ]
-        ground_truths = self.measurement_cache[gt_key]
+        ground_truths = self.engine.render_scene_views(
+            truth, cameras, scene_key=(dataset.name, sub_scene.name, "profile-gt")
+        )
 
         def measure(config: Configuration) -> tuple:
             key = (dataset.name, sub_scene.name, config.granularity, config.patch_size)
             if key in self.measurement_cache:
                 return self.measurement_cache[key]
-            baked = bake_field(
-                field_model,
-                granularity=config.granularity,
-                patch_size=config.patch_size,
-                name=sub_scene.name,
-                materialize_textures=self.config.materialize_textures,
-                size_constants=self.config.size_constants,
+            baked = self._bake_one(
+                field_model, sub_scene.name, config, dataset_name=dataset.name
             )
-            scores = []
-            for camera, reference in zip(cameras, ground_truths):
-                rendered = render_baked_multi(
-                    BakedMultiModel([baked]), camera, background=dataset.scene.background_color
-                )
-                scores.append(ssim(reference.rgb, rendered.rgb))
+            # No scene_key: each profiling sample is rendered exactly once
+            # (the measurement tuple is memoised above), so caching these
+            # one-shot images would only churn the shared LRU and evict the
+            # ground-truth and deployment renders other figures reuse.
+            renders = self.engine.render_baked_views(
+                BakedMultiModel([baked]),
+                cameras,
+                background=dataset.scene.background_color,
+            )
+            scores = [
+                ssim(reference.rgb, rendered.rgb)
+                for reference, rendered in zip(ground_truths, renders)
+            ]
             result = (float(np.mean(scores)), baked.size_mb())
             self.measurement_cache[key] = result
             return result
@@ -385,15 +435,38 @@ class NeRFlexPipeline:
 
     # -- baking and deployment -------------------------------------------------
 
-    def _bake_one(self, field_model, name: str, config: Configuration):
-        return bake_field(
+    def _bake_one(
+        self,
+        field_model,
+        name: str,
+        config: Configuration,
+        dataset_name: "str | None" = None,
+    ):
+        geometry = None
+        geometry_key = None
+        if dataset_name:
+            geometry_key = (
+                "geometry",
+                dataset_name,
+                name,
+                field_cache_identity(field_model),
+                self.config.seed,
+                self.config.apply_degradation,
+                config.granularity,
+            )
+            geometry = self.measurement_cache.get(geometry_key)
+        baked = bake_field(
             field_model,
             granularity=config.granularity,
             patch_size=config.patch_size,
             name=name,
             materialize_textures=self.config.materialize_textures,
             size_constants=self.config.size_constants,
+            geometry=geometry,
         )
+        if geometry_key is not None and geometry is None:
+            self.measurement_cache[geometry_key] = (baked.grid, baked.faces)
+        return baked
 
     def bake(self, preparation: PreparationResult) -> BakedMultiModel:
         """Bake every sub-scene at its selected configuration.
@@ -407,9 +480,13 @@ class NeRFlexPipeline:
         """
         assignments = dict(preparation.selection.assignments)
         profiles_by_name = {profile.name: profile for profile in preparation.profiles}
+        dataset_name = preparation.dataset_name
         baked = {
             sub_scene.name: self._bake_one(
-                preparation.fields[sub_scene.name], sub_scene.name, assignments[sub_scene.name]
+                preparation.fields[sub_scene.name],
+                sub_scene.name,
+                assignments[sub_scene.name],
+                dataset_name=dataset_name,
             )
             for sub_scene in preparation.segmentation.sub_scenes
         }
@@ -424,12 +501,12 @@ class NeRFlexPipeline:
             for name, profile in profiles_by_name.items():
                 current = assignments[name]
                 current_size = baked[name].size_mb()
-                current_quality = profile.predict_quality(current)
+                current_quality = profile.objective_quality(current)
                 for config in profile.config_space:
                     size_gain = profile.predict_size(config) - current_size
                     if size_gain >= -1e-6:
                         continue
-                    loss_rate = (current_quality - profile.predict_quality(config)) / (
+                    loss_rate = (current_quality - profile.objective_quality(config)) / (
                         -size_gain
                     )
                     if loss_rate < best_rate:
@@ -438,7 +515,10 @@ class NeRFlexPipeline:
                 break
             assignments[best_name] = best_config
             baked[best_name] = self._bake_one(
-                preparation.fields[best_name], best_name, best_config
+                preparation.fields[best_name],
+                best_name,
+                best_config,
+                dataset_name=dataset_name,
             )
 
         # Record the deployed configurations back onto the selection.
@@ -473,6 +553,7 @@ class NeRFlexPipeline:
             overhead_seconds=preparation.overhead_seconds if preparation else None,
             object_eval_resolution=self.config.object_eval_resolution,
             gt_cache=self.measurement_cache,
+            engine=self.engine,
         )
 
     def run(self, dataset) -> tuple:

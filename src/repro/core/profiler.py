@@ -26,10 +26,11 @@ Model families
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.optimize import curve_fit
+from scipy.optimize import OptimizeWarning, curve_fit
 
 from repro.core.config_space import Configuration, ConfigurationSpace
 
@@ -102,11 +103,18 @@ class QualityModel:
         initial = (min(float(quality.max()) + 0.03, 1.0), 5.0, 8.0, 1.0)
         bounds = ([0.0, 0.0, 0.01, 0.01], [1.2, 1e4, 1e3, 1e2])
         try:
-            params, _ = curve_fit(
-                model, (g, p), quality, p0=initial, bounds=bounds, maxfev=20000
-            )
+            with warnings.catch_warnings():
+                # Degenerate measurement sets (constant quality, collinear
+                # samples) make the covariance inestimable; scipy reports
+                # that as an OptimizeWarning.  Escalate it so such fits take
+                # the deterministic linear fallback instead of emitting a
+                # warning with dubious parameters.
+                warnings.simplefilter("error", OptimizeWarning)
+                params, _ = curve_fit(
+                    model, (g, p), quality, p0=initial, bounds=bounds, maxfev=20000
+                )
             return cls(qmax=float(params[0]), k=float(params[1]), a=float(params[2]), b=float(params[3]))
-        except (RuntimeError, ValueError):
+        except (RuntimeError, ValueError, OptimizeWarning):
             # Fallback: fix the offsets and solve the linear problem in
             # (qmax, k) exactly.
             a_fixed, b_fixed = 8.0, 1.0
@@ -153,7 +161,10 @@ class PaperSizeModel:
         )
         initial = (m0, k0, a0, b0)
         bounds = ([0.0, 0.0, 0.01, 0.01], [1e6, 1e14, 1e3, 1e2])
-        params, _ = curve_fit(model, (g, p), sizes, p0=initial, bounds=bounds, maxfev=40000)
+        with warnings.catch_warnings():
+            # Reference-only model: an inestimable covariance is tolerable.
+            warnings.simplefilter("ignore", OptimizeWarning)
+            params, _ = curve_fit(model, (g, p), sizes, p0=initial, bounds=bounds, maxfev=40000)
         return cls(m=float(params[0]), k=float(params[1]), a=float(params[2]), b=float(params[3]))
 
 
@@ -181,7 +192,10 @@ class PaperQualityModel:
 
         initial = (float(quality.mean()) / (64.0**3 * 9.0), 1.0, 1.0)
         bounds = ([0.0, 0.01, 0.01], [1.0, 1e3, 1e2])
-        params, _ = curve_fit(model, (g, p), quality, p0=initial, bounds=bounds, maxfev=20000)
+        with warnings.catch_warnings():
+            # Reference-only model: an inestimable covariance is tolerable.
+            warnings.simplefilter("ignore", OptimizeWarning)
+            params, _ = curve_fit(model, (g, p), quality, p0=initial, bounds=bounds, maxfev=20000)
         return cls(k=float(params[0]), a=float(params[1]), b=float(params[2]))
 
 
@@ -195,6 +209,14 @@ class ObjectProfile:
         quality_model / size_model: fitted white-box models.
         measurements: the sampled ground-truth measurements the models were
             fitted from, keyed by :class:`Configuration`.
+        detail_weight: relative importance of this object in the selector's
+            objective.  The segmentation stage derives it from the object's
+            maximum detail frequency (normalised to mean 1 across a scene's
+            sub-scenes), so the configuration budget flows toward the
+            high-frequency detail region the paper's Fig. 4 scores — a
+            low-detail backdrop should not outbid a detailed object for
+            texture bytes.  The default of 1.0 reproduces the unweighted
+            objective.
     """
 
     name: str
@@ -202,9 +224,14 @@ class ObjectProfile:
     quality_model: QualityModel
     size_model: SizeModel
     measurements: dict = field(default_factory=dict)
+    detail_weight: float = 1.0
 
     def predict_quality(self, config: Configuration) -> float:
         return self.quality_model.predict(config)
+
+    def objective_quality(self, config: Configuration) -> float:
+        """Detail-weighted quality used by the configuration selectors."""
+        return self.detail_weight * self.quality_model.predict(config)
 
     def predict_size(self, config: Configuration) -> float:
         return self.size_model.predict(config)

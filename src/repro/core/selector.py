@@ -134,14 +134,16 @@ class _BaseDPSelector:
 
         ``reserve`` is the number of size units that must be left for the
         other objects' cheapest configurations (the paper's ``r_i`` filter);
-        the plain MCK solver passes ``reserve = 0``.
+        the plain MCK solver passes ``reserve = 0``.  Candidate quality is
+        the profile's detail-weighted objective (see
+        :attr:`~repro.core.profiler.ObjectProfile.detail_weight`).
         """
         admitted = []
         for config in profile.config_space:
             size_units = self._quantize(profile.predict_size(config), step)
             if size_units > capacity - reserve:
                 continue
-            admitted.append((config, size_units, profile.predict_quality(config)))
+            admitted.append((config, size_units, profile.objective_quality(config)))
         return admitted
 
     def _solve(self, profiles: list, budget_mb: float, use_reserve_filter: bool) -> dict:

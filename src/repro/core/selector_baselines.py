@@ -69,10 +69,10 @@ class GreedySelector:
             current_total = total_size(assignments)
             for profile in profiles:
                 current_config = assignments[profile.name]
-                current_quality = profile.predict_quality(current_config)
+                current_quality = profile.objective_quality(current_config)
                 current_size = profile.predict_size(current_config)
                 for config in profile.config_space:
-                    quality_gain = profile.predict_quality(config) - current_quality
+                    quality_gain = profile.objective_quality(config) - current_quality
                     size_gain = profile.predict_size(config) - current_size
                     if quality_gain <= 0 or size_gain <= 0:
                         continue
@@ -117,7 +117,7 @@ class BruteForceSelector:
             if size > budget_mb:
                 continue
             quality = sum(
-                profile.predict_quality(config) for profile, config in zip(profiles, combo)
+                profile.objective_quality(config) for profile, config in zip(profiles, combo)
             )
             if quality > best_quality:
                 best_quality = quality
@@ -134,11 +134,14 @@ class BruteForceSelector:
 
 
 def _continuous_quality(profile: ObjectProfile, g: float, p: float) -> float:
-    """Evaluate the quality model at a continuous (g, p) point."""
+    """Evaluate the detail-weighted quality model at a continuous (g, p) point."""
+    weight = getattr(profile, "detail_weight", 1.0)
     model = profile.quality_model
     if isinstance(model, QualityModel):
-        return float(model.qmax - model.k / ((g + model.a) * (p + model.b)))
-    return float(model.predict(Configuration(max(int(round(g)), 2), max(int(round(p)), 1))))
+        return weight * float(model.qmax - model.k / ((g + model.a) * (p + model.b)))
+    return weight * float(
+        model.predict(Configuration(max(int(round(g)), 2), max(int(round(p)), 1)))
+    )
 
 
 def _continuous_size(profile: ObjectProfile, g: float, p: float) -> float:
@@ -243,12 +246,12 @@ class SLSQPSelector:
             for profile in profiles:
                 current_config = assignments[profile.name]
                 current_size = profile.predict_size(current_config)
-                current_quality = profile.predict_quality(current_config)
+                current_quality = profile.objective_quality(current_config)
                 for config in profile.config_space:
                     size_gain = profile.predict_size(config) - current_size
                     if size_gain >= 0:
                         continue
-                    quality_loss = current_quality - profile.predict_quality(config)
+                    quality_loss = current_quality - profile.objective_quality(config)
                     loss_rate = quality_loss / (-size_gain)
                     if loss_rate < best_loss_rate:
                         best_loss_rate = loss_rate

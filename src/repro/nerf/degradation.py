@@ -135,6 +135,20 @@ class DegradedField:
         self._noise_dirs /= np.linalg.norm(self._noise_dirs, axis=1, keepdims=True)
         self._noise_phases = rng.uniform(0.0, 2.0 * np.pi, size=3)
 
+        # Lipschitz bound of the degraded SDF, advertised so the
+        # hierarchical voxeliser can prune exactly: the base field's bound
+        # plus the geometry noise's maximum slope (amplitude x wavenumber).
+        # Floaters appear/disappear discontinuously across their lattice
+        # cells, and a base field without an advertised bound (e.g. an
+        # MLP-backed pseudo-SDF) has no usable one either — both cases
+        # force exhaustive sampling.
+        base_lipschitz = getattr(base_field, "sdf_lipschitz", None)
+        noise_slope = self.noise_amplitude * (2.0 * np.pi / self.noise_wavelength)
+        if self.floater_rate > 0.0 or base_lipschitz is None:
+            self.sdf_lipschitz = np.inf
+        else:
+            self.sdf_lipschitz = max(float(base_lipschitz) + noise_slope, 1.0)
+
     # -- field protocol ----------------------------------------------------
 
     @property

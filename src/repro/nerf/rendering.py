@@ -133,71 +133,20 @@ def volume_render_field(
     every volume sample).  This is the rendering path used by the NGP /
     Mip-NeRF 360 baseline emulators, which render their (degraded) fields
     directly rather than baking a mesh.
+
+    This is a thin wrapper over the shared :class:`~repro.render.RenderEngine`
+    (see :mod:`repro.render`); use the engine directly for cross-view
+    batching and render caching.
     """
-    from repro.scenes.raytrace import field_radiance  # local import avoids a cycle
+    from repro.render.engine import engine_for_chunk
 
-    origins, directions = camera_rays(camera)
-    num_rays = origins.shape[0]
-    extent = float(np.max(field.bounds_max - field.bounds_min))
-    surface_width = extent / max(density_scale, 1e-6)
-
-    center = 0.5 * (np.asarray(field.bounds_min) + np.asarray(field.bounds_max))
-    distance_to_center = np.linalg.norm(camera.position - center)
-    near = max(distance_to_center - extent, 1e-3)
-    far = distance_to_center + extent
-
-    rgb = np.tile(np.asarray(background, dtype=np.float64), (num_rays, 1))
-    depth = np.full(num_rays, np.inf)
-    alpha = np.zeros(num_rays)
-
-    for start in range(0, num_rays, chunk_rays):
-        stop = min(start + chunk_rays, num_rays)
-        count = stop - start
-        t_values = stratified_samples(
-            np.full(count, near), np.full(count, far), num_samples, rng=rng, jitter=False
-        )
-        points = origins[start:stop, None, :] + t_values[..., None] * directions[
-            start:stop, None, :
-        ]
-        flat = points.reshape(-1, 3)
-        sdf = field.sdf(flat).reshape(count, num_samples)
-        densities = _sdf_to_density(sdf, surface_width)
-        deltas = np.diff(
-            t_values, axis=1, append=t_values[:, -1:] + (far - near) / num_samples
-        )
-        # First pass: opacity and expected termination depth from densities.
-        composite = composite_samples(
-            densities,
-            np.zeros((count, num_samples, 3)),
-            deltas,
-            background=(0, 0, 0),
-            sample_distances=t_values,
-        )
-        weights = composite["weights"]
-        ray_alpha = composite["alpha"]
-        ray_depth = composite["depth"]
-        # Second pass: shade only the rays that actually hit the volume, at
-        # their expected termination point.
-        hit_rows = np.flatnonzero(ray_alpha > 0.05)
-        if hit_rows.size:
-            surface_points = origins[start:stop][hit_rows] + ray_depth[hit_rows, None] * (
-                directions[start:stop][hit_rows]
-            )
-            radiance = field_radiance(field, surface_points)
-            mix = ray_alpha[hit_rows, None]
-            rgb[start + hit_rows] = mix * radiance + (1.0 - mix) * np.asarray(background)
-            depth[start + hit_rows] = ray_depth[hit_rows]
-        alpha[start:stop] = ray_alpha
-        del weights
-
-    height, width = camera.height, camera.width
-    hit = alpha > 0.5
-    object_ids = np.where(hit, 0, -1)
-    return RenderResult(
-        rgb=np.clip(rgb, 0.0, 1.0).reshape(height, width, 3),
-        depth=np.where(hit, depth, np.inf).reshape(height, width),
-        object_ids=object_ids.reshape(height, width),
-        hit_mask=hit.reshape(height, width),
+    return engine_for_chunk(chunk_rays).volume_render_field(
+        field,
+        camera,
+        num_samples=num_samples,
+        background=background,
+        density_scale=density_scale,
+        rng=rng,
     )
 
 

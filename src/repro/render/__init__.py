@@ -1,0 +1,28 @@
+"""Unified batched rendering: one engine for every representation.
+
+:class:`RenderEngine` subsumes the three historical ray-marching paths —
+the ground-truth sphere tracer, the NeRF volume renderer and the baked
+occupancy-grid marcher — behind one batched, cached API.  See
+:mod:`repro.render.engine` for the engine and :mod:`repro.render.cache` for
+the ``(scene, camera, quality)`` render cache.
+"""
+
+from repro.render.cache import CacheStats, RenderCache, camera_cache_key
+from repro.render.engine import (
+    DEFAULT_CHUNK_RAYS,
+    RenderEngine,
+    baked_fingerprint,
+    default_cache,
+    default_engine,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CHUNK_RAYS",
+    "RenderCache",
+    "RenderEngine",
+    "baked_fingerprint",
+    "camera_cache_key",
+    "default_cache",
+    "default_engine",
+]

@@ -1,0 +1,130 @@
+"""Persistent render cache keyed by ``(scene, camera, quality)``.
+
+Rendering the same view of the same content twice is the single largest
+source of wasted wall-clock in the reproduction benchmarks: ground-truth
+views are consumed by the segmenter, the profiler and every method's quality
+evaluation, and each figure used to re-render them from scratch.  The cache
+replaces the ad-hoc ``gt_cache`` / ``measurement_cache`` render dictionaries
+that used to live in :mod:`repro.core.pipeline`.
+
+Keys are explicit three-part tuples:
+
+* ``scene_key`` — a caller-supplied hashable identifying the content (e.g.
+  ``("realworld", "lego")`` for a sub-scene, or a baked-model fingerprint);
+* ``camera_key`` — derived from the camera pose/resolution by
+  :func:`camera_cache_key`;
+* ``quality_key`` — the rendering path and every parameter that affects the
+  output (renderer name, step counts, background, ...).
+
+Entries are only stored when the caller provides a ``scene_key`` — anonymous
+content is never cached, so mutating a scene between renders cannot serve
+stale images unless the caller reuses a key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+def camera_cache_key(camera) -> tuple:
+    """A hashable fingerprint of a camera's pose and image geometry."""
+    return (
+        tuple(round(float(v), 12) for v in camera.position),
+        tuple(round(float(v), 12) for v in camera.look_at),
+        tuple(round(float(v), 12) for v in camera.up),
+        round(float(camera.fov_deg), 12),
+        int(camera.width),
+        int(camera.height),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`RenderCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class RenderCache:
+    """An LRU map from ``(scene, camera, quality)`` keys to render results.
+
+    Args:
+        max_entries: optional bound on the number of cached results; the
+            least recently used entry is evicted beyond it.  ``None`` means
+            unbounded (the benchmark harness caches a few hundred small
+            images, far below any memory concern).
+    """
+
+    max_entries: "int | None" = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be positive (or None)")
+        self._store: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
+
+    @staticmethod
+    def make_key(scene_key, camera, quality_key) -> tuple:
+        """Assemble the canonical three-part cache key for a camera view."""
+        return (scene_key, camera_cache_key(camera), quality_key)
+
+    def get(self, key):
+        """Cached value for ``key`` (``None`` on miss); updates statistics."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return self._store[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_render(self, key, render_fn):
+        """Return the cached value for ``key``, rendering it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = render_fn()
+            self.put(key, value)
+        return value
+
+    def invalidate(self, scene_key=None) -> int:
+        """Drop every entry (or only those whose scene part equals ``scene_key``)."""
+        if scene_key is None:
+            dropped = len(self._store)
+            self._store.clear()
+            return dropped
+        doomed = [key for key in self._store if key[0] == scene_key]
+        for key in doomed:
+            del self._store[key]
+        return len(doomed)

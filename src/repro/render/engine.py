@@ -1,0 +1,870 @@
+"""The unified, batched ray-marching engine.
+
+Historically the library grew three independent ray-marching loops — the
+ground-truth sphere tracer (:mod:`repro.scenes.raytrace`), the volume
+renderer's ray chunking (:mod:`repro.nerf.rendering`) and the baked
+occupancy-grid marcher (:mod:`repro.baking.renderer`) — each with its own
+hand-rolled ``active``-mask bookkeeping, its own chunking and no sharing of
+rendered results.  :class:`RenderEngine` subsumes all three behind one
+batched API:
+
+* **cross-view ray batching** — the ``*_views`` methods stack every
+  camera's rays into a single ``(N, 3)`` march, so rendering eight views
+  costs one marching loop instead of eight;
+* **one early-termination compaction** — :meth:`sphere_trace_rays` is the
+  single surviving active-set loop; both the scene and the field renderers
+  are thin shading passes over it;
+* **a persistent render cache** — results are memoised under
+  ``(scene, camera, quality)`` keys (see :mod:`repro.render.cache`);
+* **chunk-size / worker knobs** — ``chunk_rays`` bounds peak memory of the
+  sample-heavy paths and ``workers`` optionally fans independent ray chunks
+  out to a thread pool (chunks write disjoint rows, so the output is
+  identical for any worker count).
+
+The legacy module-level functions (``render_scene``, ``render_field``,
+``volume_render_field``, ``render_baked_multi``) remain as thin wrappers
+over a shared default engine, so downstream callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.baking.meshing import _TANGENT_AXES
+from repro.nerf.sampling import stratified_samples
+from repro.render.cache import RenderCache
+from repro.scenes.cameras import Camera, camera_rays
+from repro.scenes.raytrace import (
+    RenderResult,
+    estimate_normals,
+    field_radiance,
+    shade_lambertian,
+)
+
+#: Default number of rays marched per chunk in the sample-heavy paths.
+DEFAULT_CHUNK_RAYS = 8192
+
+
+def baked_fingerprint(multi) -> tuple:
+    """A hashable fingerprint of a baked multi-model's content and knobs.
+
+    Geometry counts alone cannot distinguish two bakes of *different*
+    fields that happen to voxelise identically (e.g. degraded versus clean
+    albedo at a coarse granularity), so each sub-model also contributes a
+    small deterministic texture probe: the sampled colour of a few spread
+    faces.  Two models that agree on name, configuration, geometry and the
+    probe render identically for caching purposes.
+    """
+    parts = []
+    for model in multi.submodels:
+        num_faces = int(model.num_faces)
+        if num_faces:
+            probe_faces = np.unique(
+                np.array([0, num_faces // 3, (2 * num_faces) // 3, num_faces - 1])
+            )
+            centers = np.full(probe_faces.size, 0.5)
+            probe = tuple(
+                round(float(v), 9)
+                for v in model.texture.sample(probe_faces, centers, centers).ravel()
+            )
+        else:
+            probe = ()
+        parts.append(
+            (
+                model.name,
+                int(model.granularity),
+                int(model.patch_size),
+                num_faces,
+                int(model.grid.num_occupied),
+                probe,
+            )
+        )
+    return tuple(parts)
+
+
+def _content_identity(content) -> tuple:
+    """Best-effort fingerprint of a scene's / field's renderable content.
+
+    Caller-supplied ``scene_key`` names are not guaranteed unique (two
+    datasets generated without explicit names both default to ``"scene"``),
+    so the cache key also carries what the library can observe about the
+    content: the degradation parameters of a wrapped field, and either the
+    placed-object configuration of a scene or the raw bounds of an opaque
+    field.  Deterministically rebuilt content (e.g. a baseline emulator's
+    field) fingerprints identically across instances, so cross-instance
+    cache reuse is preserved.  Custom fields with identical identities must
+    render identically — that residual contract is documented on
+    :mod:`repro.render.cache`.
+    """
+    parts = []
+    detail_scale = getattr(content, "detail_scale", None)
+    if detail_scale is not None:
+        parts.append(
+            (
+                "degraded",
+                round(float(detail_scale), 12),
+                int(getattr(content, "seed", 0)),
+                round(float(getattr(content, "floater_rate", 0.0)), 12),
+            )
+        )
+        content = getattr(content, "base", content)
+    placed = getattr(content, "placed", None)
+    if placed is not None:
+        parts.append(
+            tuple(
+                (
+                    p.instance_name,
+                    int(p.instance_id),
+                    getattr(p.obj, "name", ""),
+                    round(float(getattr(p, "texture_frequency", 0.0)), 12),
+                    tuple(round(float(v), 12) for v in p.translation),
+                    round(float(p.scale), 12),
+                )
+                for p in placed
+            )
+        )
+    else:
+        parts.append(
+            (
+                tuple(np.round(np.asarray(content.bounds_min, dtype=np.float64), 12)),
+                tuple(np.round(np.asarray(content.bounds_max, dtype=np.float64), 12)),
+            )
+        )
+    return tuple(parts)
+
+
+def _stack_camera_rays(cameras) -> tuple:
+    """Stack all cameras' rays into one flat batch.
+
+    Returns ``(origins, directions, slices)`` where ``slices[i]`` recovers
+    camera ``i``'s rays from the stacked arrays.
+    """
+    origins_list = []
+    directions_list = []
+    slices = []
+    offset = 0
+    for camera in cameras:
+        origins, directions = camera_rays(camera)
+        origins_list.append(origins)
+        directions_list.append(directions)
+        slices.append(slice(offset, offset + origins.shape[0]))
+        offset += origins.shape[0]
+    return (
+        np.concatenate(origins_list, axis=0),
+        np.concatenate(directions_list, axis=0),
+        slices,
+    )
+
+
+def _default_max_distance(content, camera: Camera) -> float:
+    """The legacy per-camera ray-termination distance."""
+    bounds_min = np.asarray(content.bounds_min, dtype=np.float64)
+    bounds_max = np.asarray(content.bounds_max, dtype=np.float64)
+    center = 0.5 * (bounds_min + bounds_max)
+    extent = float(np.max(bounds_max - bounds_min))
+    return 4.0 * max(extent, 1.0) + float(np.linalg.norm(camera.position - center))
+
+
+def _ray_aabb(origins, directions, lo, hi):
+    """Slab-method ray/AABB intersection; returns (t_near, t_far)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = 1.0 / directions
+    t_lo = (lo - origins) * inv
+    t_hi = (hi - origins) * inv
+    t_near = np.nanmax(np.minimum(t_lo, t_hi), axis=1)
+    t_far = np.nanmin(np.maximum(t_lo, t_hi), axis=1)
+    return t_near, t_far
+
+
+def _face_keys(model) -> tuple:
+    """Sorted integer keys for (voxel, axis, sign) face lookup."""
+    g = model.grid.resolution
+    idx = model.faces.voxel_indices
+    voxel_key = (idx[:, 0] * g + idx[:, 1]) * g + idx[:, 2]
+    face_key = voxel_key * 6 + model.faces.axes * 2 + (model.faces.signs > 0)
+    order = np.argsort(face_key, kind="stable")
+    return face_key[order], order, voxel_key[order]
+
+
+class RenderEngine:
+    """Batched, cached renderer for every representation in the library.
+
+    Args:
+        chunk_rays: rays marched per chunk in the volume and baked paths
+            (bounds peak memory; the rendered output is chunk-invariant).
+        workers: number of threads that process independent ray chunks
+            concurrently (1 = serial).  Chunks write disjoint output rows,
+            so any worker count produces identical images.
+        cache: optional :class:`RenderCache`; when present, the camera-level
+            methods memoise results for callers that supply a ``scene_key``.
+    """
+
+    def __init__(
+        self,
+        chunk_rays: int = DEFAULT_CHUNK_RAYS,
+        workers: int = 1,
+        cache: "RenderCache | None" = None,
+    ) -> None:
+        if chunk_rays < 1:
+            raise ValueError("chunk_rays must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.chunk_rays = int(chunk_rays)
+        self.workers = int(workers)
+        self.cache = cache
+
+    # -- shared machinery ----------------------------------------------------
+
+    def _run_chunks(self, process, starts) -> None:
+        """Run ``process(start)`` for every chunk start, possibly threaded."""
+        if self.workers <= 1 or len(starts) <= 1:
+            for start in starts:
+                process(start)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            list(pool.map(process, starts))
+
+    def _cached_views(self, cameras, scene_key, quality_key, render_batch):
+        """Memoise per-camera results, rendering the misses in one batch.
+
+        ``render_batch(cameras)`` must return one result per camera.  When
+        no cache or no ``scene_key`` is configured, everything is rendered.
+        """
+        cameras = list(cameras)
+        if self.cache is None or scene_key is None:
+            return render_batch(cameras)
+        keys = [self.cache.make_key(scene_key, camera, quality_key) for camera in cameras]
+        results: list = [self.cache.get(key) for key in keys]
+        miss_indices = [i for i, value in enumerate(results) if value is None]
+        if miss_indices:
+            rendered = render_batch([cameras[i] for i in miss_indices])
+            for i, result in zip(miss_indices, rendered):
+                self.cache.put(keys[i], result)
+                results[i] = result
+        return results
+
+    # -- the one sphere-tracing loop ----------------------------------------
+
+    def sphere_trace_rays(
+        self,
+        sdf_fn,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        max_steps: int = 96,
+        hit_epsilon: float = 2e-3,
+        max_distance: "float | np.ndarray" = np.inf,
+    ) -> tuple:
+        """March rays against an SDF with early-termination compaction.
+
+        This is the single active-set loop that both the ground-truth scene
+        renderer and the field renderer shade on top of.  ``max_distance``
+        may be a scalar or a per-ray array (cross-view batches mix cameras
+        with different termination distances).
+
+        Returns:
+            ``(t_values, hit)`` — per-ray hit distance and hit mask.
+        """
+        num_rays = origins.shape[0]
+        limits = np.broadcast_to(
+            np.asarray(max_distance, dtype=np.float64), (num_rays,)
+        )
+        t_values = np.zeros(num_rays)
+        hit = np.zeros(num_rays, dtype=bool)
+        alive = np.arange(num_rays)
+        for _ in range(max_steps):
+            if alive.size == 0:
+                break
+            points = origins[alive] + t_values[alive, None] * directions[alive]
+            distances = sdf_fn(points)
+            newly_hit = distances < hit_epsilon
+            hit[alive[newly_hit]] = True
+            advancing = ~newly_hit
+            advancing_ids = alive[advancing]
+            t_values[advancing_ids] += np.maximum(distances[advancing], hit_epsilon)
+            escaped = t_values[advancing_ids] > limits[advancing_ids]
+            alive = advancing_ids[~escaped]
+        return t_values, hit
+
+    # -- ground-truth scenes -------------------------------------------------
+
+    def render_scene_rays(
+        self,
+        scene,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        max_steps: int = 96,
+        hit_epsilon: float = 2e-3,
+        max_distance: "float | np.ndarray" = np.inf,
+        shading: bool = True,
+    ) -> dict:
+        """Flat-ray sphere tracing of a scene with per-object attribution.
+
+        Returns a dict with flat ``rgb``, ``depth``, ``object_ids`` and
+        ``hit`` buffers (one row per input ray).
+        """
+        num_rays = origins.shape[0]
+        t_values, hit = self.sphere_trace_rays(
+            scene.sdf,
+            origins,
+            directions,
+            max_steps=max_steps,
+            hit_epsilon=hit_epsilon,
+            max_distance=max_distance,
+        )
+        rgb = np.tile(scene.background_color, (num_rays, 1))
+        depth = np.full(num_rays, np.inf)
+        object_ids = np.full(num_rays, -1, dtype=int)
+        if hit.any():
+            hit_points = origins[hit] + t_values[hit, None] * directions[hit]
+            _, ids = scene.classify(hit_points)
+            albedo = scene.albedo(hit_points)
+            if shading:
+                normals = estimate_normals(scene, hit_points, epsilon=1e-3)
+                colors = shade_lambertian(albedo, normals)
+            else:
+                colors = albedo
+            rgb[hit] = colors
+            depth[hit] = t_values[hit]
+            object_ids[hit] = ids
+        return {"rgb": rgb, "depth": depth, "object_ids": object_ids, "hit": hit}
+
+    def render_scene_views(
+        self,
+        scene,
+        cameras,
+        max_steps: int = 96,
+        hit_epsilon: float = 2e-3,
+        max_distance: "float | None" = None,
+        shading: bool = True,
+        scene_key=None,
+    ) -> list:
+        """Render several views of a scene in one cross-view ray batch."""
+        quality_key = (
+            "scene",
+            _content_identity(scene) if scene_key is not None else None,
+            tuple(np.asarray(scene.background_color, dtype=np.float64).tolist()),
+            max_steps,
+            hit_epsilon,
+            max_distance,
+            shading,
+        )
+
+        def render_batch(batch_cameras):
+            if not batch_cameras:
+                return []
+            origins, directions, slices = _stack_camera_rays(batch_cameras)
+            limits = np.empty(origins.shape[0])
+            for camera, view_slice in zip(batch_cameras, slices):
+                limits[view_slice] = (
+                    max_distance
+                    if max_distance is not None
+                    else _default_max_distance(scene, camera)
+                )
+            buffers = self.render_scene_rays(
+                scene,
+                origins,
+                directions,
+                max_steps=max_steps,
+                hit_epsilon=hit_epsilon,
+                max_distance=limits,
+                shading=shading,
+            )
+            return [
+                _assemble_result(buffers, view_slice, camera)
+                for camera, view_slice in zip(batch_cameras, slices)
+            ]
+
+        return self._cached_views(cameras, scene_key, quality_key, render_batch)
+
+    def render_scene(self, scene, camera: Camera, **kwargs) -> RenderResult:
+        """Render one view of a scene (see :meth:`render_scene_views`)."""
+        return self.render_scene_views(scene, [camera], **kwargs)[0]
+
+    # -- radiance fields -----------------------------------------------------
+
+    def render_field_rays(
+        self,
+        field,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        background=(1.0, 1.0, 1.0),
+        max_steps: int = 96,
+        hit_epsilon: float = 2e-3,
+        max_distance: "float | np.ndarray" = np.inf,
+    ) -> dict:
+        """Flat-ray sphere tracing of a field-protocol object (SDF + albedo)."""
+        num_rays = origins.shape[0]
+        t_values, hit = self.sphere_trace_rays(
+            field.sdf,
+            origins,
+            directions,
+            max_steps=max_steps,
+            hit_epsilon=hit_epsilon,
+            max_distance=max_distance,
+        )
+        rgb = np.tile(np.asarray(background, dtype=np.float64), (num_rays, 1))
+        depth = np.full(num_rays, np.inf)
+        object_ids = np.full(num_rays, -1, dtype=int)
+        if hit.any():
+            hit_points = origins[hit] + t_values[hit, None] * directions[hit]
+            rgb[hit] = field_radiance(field, hit_points)
+            depth[hit] = t_values[hit]
+            object_ids[hit] = 0
+        return {"rgb": rgb, "depth": depth, "object_ids": object_ids, "hit": hit}
+
+    def render_field_views(
+        self,
+        field,
+        cameras,
+        background=(1.0, 1.0, 1.0),
+        max_steps: int = 96,
+        hit_epsilon: float = 2e-3,
+        max_distance: "float | None" = None,
+        scene_key=None,
+    ) -> list:
+        """Render several views of a field in one cross-view ray batch."""
+        quality_key = (
+            "field",
+            _content_identity(field) if scene_key is not None else None,
+            max_steps,
+            hit_epsilon,
+            max_distance,
+            tuple(np.asarray(background, dtype=np.float64).tolist()),
+        )
+
+        def render_batch(batch_cameras):
+            if not batch_cameras:
+                return []
+            origins, directions, slices = _stack_camera_rays(batch_cameras)
+            limits = np.empty(origins.shape[0])
+            for camera, view_slice in zip(batch_cameras, slices):
+                limits[view_slice] = (
+                    max_distance
+                    if max_distance is not None
+                    else _default_max_distance(field, camera)
+                )
+            buffers = self.render_field_rays(
+                field,
+                origins,
+                directions,
+                background=background,
+                max_steps=max_steps,
+                hit_epsilon=hit_epsilon,
+                max_distance=limits,
+            )
+            return [
+                _assemble_result(buffers, view_slice, camera)
+                for camera, view_slice in zip(batch_cameras, slices)
+            ]
+
+        return self._cached_views(cameras, scene_key, quality_key, render_batch)
+
+    def render_field(self, field, camera: Camera, **kwargs) -> RenderResult:
+        """Render one view of a field (see :meth:`render_field_views`)."""
+        return self.render_field_views(field, [camera], **kwargs)[0]
+
+    # -- volume rendering ----------------------------------------------------
+
+    def volume_render_views(
+        self,
+        field,
+        cameras,
+        num_samples: int = 96,
+        background=(1.0, 1.0, 1.0),
+        density_scale: float = 160.0,
+        rng: "np.random.Generator | int | None" = None,
+        scene_key=None,
+    ) -> list:
+        """Volume-render several views of a field in one chunked ray batch.
+
+        The SDF is converted to density with a logistic bump around the
+        surface; per-ray colour is the shaded radiance at the expected
+        termination depth (the two-pass scheme of the legacy renderer).
+        """
+        quality_key = (
+            "volume",
+            _content_identity(field) if scene_key is not None else None,
+            num_samples,
+            tuple(np.asarray(background, dtype=np.float64).tolist()),
+            density_scale,
+        )
+
+        def render_batch(batch_cameras):
+            if not batch_cameras:
+                return []
+            origins, directions, slices = _stack_camera_rays(batch_cameras)
+            num_rays = origins.shape[0]
+            extent = float(np.max(np.asarray(field.bounds_max) - np.asarray(field.bounds_min)))
+            surface_width = extent / max(density_scale, 1e-6)
+            center = 0.5 * (np.asarray(field.bounds_min) + np.asarray(field.bounds_max))
+
+            near = np.empty(num_rays)
+            far = np.empty(num_rays)
+            for camera, view_slice in zip(batch_cameras, slices):
+                distance_to_center = np.linalg.norm(camera.position - center)
+                near[view_slice] = max(distance_to_center - extent, 1e-3)
+                far[view_slice] = distance_to_center + extent
+
+            bg = np.asarray(background, dtype=np.float64)
+            rgb = np.tile(bg, (num_rays, 1))
+            depth = np.full(num_rays, np.inf)
+            alpha = np.zeros(num_rays)
+
+            from repro.nerf.rendering import _sdf_to_density, composite_samples
+
+            def process(start):
+                stop = min(start + self.chunk_rays, num_rays)
+                count = stop - start
+                t_values = stratified_samples(
+                    near[start:stop], far[start:stop], num_samples, rng=rng, jitter=False
+                )
+                points = origins[start:stop, None, :] + t_values[..., None] * directions[
+                    start:stop, None, :
+                ]
+                sdf = field.sdf(points.reshape(-1, 3)).reshape(count, num_samples)
+                densities = _sdf_to_density(sdf, surface_width)
+                deltas = np.diff(
+                    t_values,
+                    axis=1,
+                    append=t_values[:, -1:]
+                    + (far[start:stop] - near[start:stop])[:, None] / num_samples,
+                )
+                composite = composite_samples(
+                    densities,
+                    np.zeros((count, num_samples, 3)),
+                    deltas,
+                    background=(0, 0, 0),
+                    sample_distances=t_values,
+                )
+                ray_alpha = composite["alpha"]
+                ray_depth = composite["depth"]
+                hit_rows = np.flatnonzero(ray_alpha > 0.05)
+                if hit_rows.size:
+                    surface_points = origins[start:stop][hit_rows] + ray_depth[
+                        hit_rows, None
+                    ] * (directions[start:stop][hit_rows])
+                    radiance = field_radiance(field, surface_points)
+                    mix = ray_alpha[hit_rows, None]
+                    rgb[start + hit_rows] = mix * radiance + (1.0 - mix) * bg
+                    depth[start + hit_rows] = ray_depth[hit_rows]
+                alpha[start:stop] = ray_alpha
+
+            self._run_chunks(process, list(range(0, num_rays, self.chunk_rays)))
+
+            hit = alpha > 0.5
+            buffers = {
+                "rgb": np.clip(rgb, 0.0, 1.0),
+                "depth": np.where(hit, depth, np.inf),
+                "object_ids": np.where(hit, 0, -1),
+                "hit": hit,
+            }
+            return [
+                _assemble_result(buffers, view_slice, camera)
+                for camera, view_slice in zip(batch_cameras, slices)
+            ]
+
+        return self._cached_views(cameras, scene_key, quality_key, render_batch)
+
+    def volume_render_field(self, field, camera: Camera, **kwargs) -> RenderResult:
+        """Volume-render one view of a field (see :meth:`volume_render_views`)."""
+        return self.volume_render_views(field, [camera], **kwargs)[0]
+
+    # -- baked models --------------------------------------------------------
+
+    def _march_baked_single(
+        self,
+        model,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        step_scale: float,
+    ) -> tuple:
+        """First-hit occupancy-grid marching of one baked sub-model."""
+        num_rays = origins.shape[0]
+        colors = np.zeros((num_rays, 3))
+        depths = np.full(num_rays, np.inf)
+        hits = np.zeros(num_rays, dtype=bool)
+
+        if model.faces.num_faces == 0:
+            return colors, depths, hits
+
+        grid = model.grid
+        lo, hi = grid.bounds_min, grid.bounds_max
+        voxel = grid.voxel_size
+        step = voxel * step_scale
+
+        face_keys_sorted, face_order, voxel_keys_sorted = _face_keys(model)
+        g = grid.resolution
+
+        t_near, t_far = _ray_aabb(origins, directions, lo, hi)
+        t_near = np.maximum(t_near, 0.0)
+        candidates = np.flatnonzero(t_far > t_near)
+
+        slab_steps = 32  # samples examined per marching round
+
+        def process(start):
+            ray_ids = candidates[start : start + self.chunk_rays]
+            ray_origins = origins[ray_ids]
+            ray_dirs = directions[ray_ids]
+            ray_near = t_near[ray_ids]
+            ray_far = t_far[ray_ids]
+
+            span = float(np.max(ray_far - ray_near))
+            num_steps = max(int(np.ceil(span / step)) + 1, 1)
+
+            # Slab-wise march with early-termination compaction: rays stop
+            # participating as soon as their first occupied voxel is found.
+            # The sample ladder is identical to evaluating all ``num_steps``
+            # samples at once, so the result is bit-identical to the legacy
+            # full-span evaluation — it just skips the samples behind a hit.
+            hit_rows_parts = []
+            hit_voxels_parts = []
+            active = np.arange(len(ray_ids))
+            for slab_start in range(0, num_steps, slab_steps):
+                if active.size == 0:
+                    break
+                ks = np.arange(slab_start, min(slab_start + slab_steps, num_steps))
+                t_samples = ray_near[active, None] + (ks[None, :] + 0.5) * step
+                valid = t_samples <= ray_far[active, None]
+                points = (
+                    ray_origins[active, None, :]
+                    + t_samples[..., None] * ray_dirs[active, None, :]
+                )
+                indices = np.floor((points - lo) / voxel).astype(int)
+                inside = np.all((indices >= 0) & (indices < g), axis=-1)
+                clipped = np.clip(indices, 0, g - 1)
+                occupied = grid.occupancy[clipped[..., 0], clipped[..., 1], clipped[..., 2]]
+                occupied = occupied & inside & valid
+
+                any_hit = occupied.any(axis=1)
+                if any_hit.any():
+                    local_rows = np.flatnonzero(any_hit)
+                    first = occupied[local_rows].argmax(axis=1)
+                    hit_rows_parts.append(active[local_rows])
+                    hit_voxels_parts.append(clipped[local_rows, first])
+                # Rays whose remaining samples are all beyond t_far are done.
+                finished = any_hit | ~valid[:, -1]
+                active = active[~finished]
+
+            if not hit_rows_parts:
+                return
+            hit_rows = np.concatenate(hit_rows_parts)
+            hit_voxels = np.concatenate(hit_voxels_parts, axis=0)
+            order = np.argsort(hit_rows, kind="stable")
+            hit_rows = hit_rows[order]
+            hit_voxels = hit_voxels[order]
+
+            # Exact entry point into the hit voxel (slab test on its AABB).
+            voxel_lo = lo + hit_voxels * voxel
+            voxel_hi = voxel_lo + voxel
+            sub_origins = ray_origins[hit_rows]
+            sub_dirs = ray_dirs[hit_rows]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                inv = 1.0 / sub_dirs
+            t_lo_axis = (voxel_lo - sub_origins) * inv
+            t_hi_axis = (voxel_hi - sub_origins) * inv
+            t_axis_entry = np.minimum(t_lo_axis, t_hi_axis)
+            # Guard against rays parallel to an axis (inv = inf -> t = -inf/nan).
+            t_axis_entry = np.where(np.isfinite(t_axis_entry), t_axis_entry, -np.inf)
+            entry_axis = t_axis_entry.argmax(axis=1)
+            t_entry = np.maximum(t_axis_entry[np.arange(len(hit_rows)), entry_axis], 0.0)
+            entry_points = sub_origins + t_entry[:, None] * sub_dirs
+            entry_sign = np.where(sub_dirs[np.arange(len(hit_rows)), entry_axis] > 0, -1, 1)
+
+            # Face lookup: exact (voxel, axis, sign) key, falling back to any
+            # face of the voxel when marching entered through an interior face.
+            voxel_key = (hit_voxels[:, 0] * g + hit_voxels[:, 1]) * g + hit_voxels[:, 2]
+            face_key = voxel_key * 6 + entry_axis * 2 + (entry_sign > 0)
+            pos = np.searchsorted(face_keys_sorted, face_key)
+            pos = np.clip(pos, 0, len(face_keys_sorted) - 1)
+            found = face_keys_sorted[pos] == face_key
+            face_indices = face_order[pos]
+            if not found.all():
+                fallback_pos = np.searchsorted(voxel_keys_sorted, voxel_key[~found])
+                fallback_pos = np.clip(fallback_pos, 0, len(voxel_keys_sorted) - 1)
+                face_indices[~found] = face_order[fallback_pos]
+
+            # In-face texture coordinates from the entry point.
+            local = (entry_points - voxel_lo) / voxel
+            tangent_u = np.array([_TANGENT_AXES[a][0] for a in entry_axis])
+            tangent_v = np.array([_TANGENT_AXES[a][1] for a in entry_axis])
+            rows = np.arange(len(hit_rows))
+            u = np.clip(local[rows, tangent_u], 0.0, 1.0)
+            v = np.clip(local[rows, tangent_v], 0.0, 1.0)
+
+            sampled = model.texture.sample(face_indices, u, v)
+            global_rows = ray_ids[hit_rows]
+            colors[global_rows] = sampled
+            depths[global_rows] = t_entry
+            hits[global_rows] = True
+
+        self._run_chunks(process, list(range(0, candidates.size, self.chunk_rays)))
+        return colors, depths, hits
+
+    def render_baked_rays(
+        self,
+        multi,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        background=(1.0, 1.0, 1.0),
+        step_scale: float = 0.5,
+    ) -> dict:
+        """Flat-ray rendering of a baked multi-model (depth compositing)."""
+        num_rays = origins.shape[0]
+        background = np.asarray(background, dtype=np.float64)
+        best_colors = np.tile(background, (num_rays, 1))
+        best_depths = np.full(num_rays, np.inf)
+        best_ids = np.full(num_rays, -1, dtype=int)
+        for submodel_index, submodel in enumerate(multi.submodels):
+            colors, depths, hits = self._march_baked_single(
+                submodel, origins, directions, step_scale=step_scale
+            )
+            closer = hits & (depths < best_depths)
+            best_colors[closer] = colors[closer]
+            best_depths[closer] = depths[closer]
+            best_ids[closer] = submodel_index
+        return {
+            "rgb": best_colors,
+            "depth": best_depths,
+            "object_ids": best_ids,
+            "hit": best_ids >= 0,
+        }
+
+    def render_baked_views(
+        self,
+        multi,
+        cameras,
+        background=(1.0, 1.0, 1.0),
+        step_scale: float = 0.5,
+        scene_key=None,
+    ) -> list:
+        """Render several views of a baked multi-model in one ray batch."""
+        multi = _as_multi_model(multi)
+        quality_key = (
+            "baked",
+            baked_fingerprint(multi),
+            tuple(np.asarray(background, dtype=np.float64).tolist()),
+            step_scale,
+        )
+
+        def render_batch(batch_cameras):
+            if not batch_cameras:
+                return []
+            origins, directions, slices = _stack_camera_rays(batch_cameras)
+            buffers = self.render_baked_rays(
+                multi,
+                origins,
+                directions,
+                background=background,
+                step_scale=step_scale,
+            )
+            return [
+                _assemble_result(buffers, view_slice, camera)
+                for camera, view_slice in zip(batch_cameras, slices)
+            ]
+
+        return self._cached_views(cameras, scene_key, quality_key, render_batch)
+
+    def render_baked(self, multi, camera: Camera, **kwargs) -> RenderResult:
+        """Render one view of a baked model (see :meth:`render_baked_views`)."""
+        return self.render_baked_views(multi, [camera], **kwargs)[0]
+
+    # -- generic dispatch ----------------------------------------------------
+
+    def render_rays(
+        self, content, origins: np.ndarray, directions: np.ndarray, **kwargs
+    ) -> dict:
+        """Render arbitrary rays against any supported representation.
+
+        Dispatches on the content type: baked multi/sub-models use the
+        occupancy marcher, scenes (objects with ``classify``) the attributed
+        sphere tracer, and everything else the field renderer.  All paths
+        return the same flat ``rgb`` / ``depth`` / ``object_ids`` / ``hit``
+        buffers.
+        """
+        origins = np.asarray(origins, dtype=np.float64)
+        directions = np.asarray(directions, dtype=np.float64)
+        if hasattr(content, "submodels"):
+            return self.render_baked_rays(content, origins, directions, **kwargs)
+        if hasattr(content, "texture") and hasattr(content, "grid"):
+            from repro.baking.baked_model import BakedMultiModel
+
+            return self.render_baked_rays(
+                BakedMultiModel([content]), origins, directions, **kwargs
+            )
+        if hasattr(content, "classify"):
+            return self.render_scene_rays(content, origins, directions, **kwargs)
+        return self.render_field_rays(content, origins, directions, **kwargs)
+
+    def render_views(self, content, cameras, **kwargs) -> list:
+        """Camera-level analogue of :meth:`render_rays` (cross-view batched)."""
+        if hasattr(content, "submodels") or (
+            hasattr(content, "texture") and hasattr(content, "grid")
+        ):
+            return self.render_baked_views(content, cameras, **kwargs)
+        if hasattr(content, "classify"):
+            return self.render_scene_views(content, cameras, **kwargs)
+        return self.render_field_views(content, cameras, **kwargs)
+
+
+def _as_multi_model(multi):
+    """Coerce a sub-model or list of sub-models into a multi-model."""
+    if hasattr(multi, "submodels"):
+        return multi
+    from repro.baking.baked_model import BakedMultiModel
+
+    if isinstance(multi, list):
+        return BakedMultiModel(multi)
+    return BakedMultiModel([multi])
+
+
+def _assemble_result(buffers: dict, view_slice: slice, camera: Camera) -> RenderResult:
+    """Cut one camera's rows out of flat ray buffers and shape them."""
+    height, width = camera.height, camera.width
+    return RenderResult(
+        rgb=buffers["rgb"][view_slice].reshape(height, width, 3),
+        depth=buffers["depth"][view_slice].reshape(height, width),
+        object_ids=buffers["object_ids"][view_slice].reshape(height, width),
+        hit_mask=buffers["hit"][view_slice].reshape(height, width),
+    )
+
+
+#: Lazily constructed engine shared by the legacy module-level wrappers.
+_DEFAULT_ENGINE: "RenderEngine | None" = None
+
+#: Bound on the shared default cache (LRU beyond this; a 128x128 result is
+#: well under a megabyte, so the default cache stays a few hundred MB).
+DEFAULT_CACHE_ENTRIES = 512
+
+
+def default_engine() -> RenderEngine:
+    """The shared engine behind the legacy module-level render functions.
+
+    It carries a process-wide render cache, so every caller that supplies a
+    ``scene_key`` — the pipeline, the baselines and the benchmark harness —
+    transparently shares rendered ground truth and baked views.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = RenderEngine(
+            cache=RenderCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        )
+    return _DEFAULT_ENGINE
+
+
+def default_cache() -> RenderCache:
+    """The process-wide render cache carried by :func:`default_engine`."""
+    return default_engine().cache
+
+
+def engine_for_chunk(chunk_rays: int) -> RenderEngine:
+    """The engine a legacy wrapper should use for a given chunk size.
+
+    The shared default engine (with its cache) serves the default chunk
+    size; a non-default request gets a transient uncached engine so the
+    knob is honoured without polluting shared state.
+    """
+    if chunk_rays == DEFAULT_CHUNK_RAYS:
+        return default_engine()
+    return RenderEngine(chunk_rays=chunk_rays)

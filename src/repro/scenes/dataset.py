@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.scenes.cameras import Camera, forward_facing_cameras, orbit_cameras
-from repro.scenes.raytrace import RenderResult, render_scene
+from repro.scenes.raytrace import RenderResult
 from repro.scenes.scene import Scene
 
 
@@ -138,8 +138,12 @@ def generate_dataset(
     else:
         raise ValueError(f"unknown trajectory {trajectory!r}; use 'orbit' or 'forward'")
 
-    train_views = [render_scene(scene, camera) for camera in train_cameras]
-    test_views = [render_scene(scene, camera) for camera in test_cameras]
+    # One cross-view ray batch per split: all cameras march together.
+    from repro.render.engine import default_engine
+
+    engine = default_engine()
+    train_views = engine.render_scene_views(scene, train_cameras)
+    test_views = engine.render_scene_views(scene, test_cameras)
     return SceneDataset(
         scene=scene,
         train_cameras=train_cameras,

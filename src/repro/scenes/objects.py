@@ -86,6 +86,10 @@ class SceneObject:
     bounds: tuple = field(default=((-0.6, -0.6, -0.6), (0.6, 0.6, 0.6)))
     texture_frequency: float = 2.0
     complexity_rank: int = 0
+    #: The library's object SDFs are exact primitives composed with
+    #: min/max, so they are 1-Lipschitz (the hierarchical voxeliser's
+    #: pruning bound relies on this being advertised).
+    sdf_lipschitz: float = 1.0
 
     def sdf(self, points: np.ndarray) -> np.ndarray:
         """Signed distance from each point to the object surface."""

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.scenes.cameras import Camera, camera_rays
+from repro.scenes.cameras import Camera
 from repro.scenes.scene import Scene
 
 #: Default directional light used for Lambertian shading.
@@ -99,50 +99,20 @@ def render_field(
     pixels to object instances (``object_ids`` is 0 where a surface was hit
     and -1 elsewhere).  It is the rendering path of the workstation-class
     baseline emulators (Instant-NGP, Mip-NeRF 360).
+
+    This is a thin wrapper over the shared :class:`~repro.render.RenderEngine`
+    (see :mod:`repro.render`); use the engine directly for cross-view
+    batching and render caching.
     """
-    origins, directions = camera_rays(camera)
-    num_rays = origins.shape[0]
-    bounds_min = np.asarray(field.bounds_min, dtype=np.float64)
-    bounds_max = np.asarray(field.bounds_max, dtype=np.float64)
-    center = 0.5 * (bounds_min + bounds_max)
-    extent = float(np.max(bounds_max - bounds_min))
-    if max_distance is None:
-        max_distance = 4.0 * max(extent, 1.0) + float(
-            np.linalg.norm(camera.position - center)
-        )
+    from repro.render.engine import default_engine
 
-    t_values = np.zeros(num_rays)
-    active = np.ones(num_rays, dtype=bool)
-    hit = np.zeros(num_rays, dtype=bool)
-    for _ in range(max_steps):
-        if not active.any():
-            break
-        points = origins[active] + t_values[active, None] * directions[active]
-        distances = field.sdf(points)
-        active_indices = np.flatnonzero(active)
-        newly_hit = distances < hit_epsilon
-        hit[active_indices[newly_hit]] = True
-        active[active_indices[newly_hit]] = False
-        advancing = ~newly_hit
-        t_values[active_indices[advancing]] += np.maximum(distances[advancing], hit_epsilon)
-        escaped = t_values[active_indices[advancing]] > max_distance
-        active[active_indices[advancing][escaped]] = False
-
-    rgb = np.tile(np.asarray(background, dtype=np.float64), (num_rays, 1))
-    depth = np.full(num_rays, np.inf)
-    object_ids = np.full(num_rays, -1, dtype=int)
-    if hit.any():
-        hit_points = origins[hit] + t_values[hit, None] * directions[hit]
-        rgb[hit] = field_radiance(field, hit_points)
-        depth[hit] = t_values[hit]
-        object_ids[hit] = 0
-
-    height, width = camera.height, camera.width
-    return RenderResult(
-        rgb=rgb.reshape(height, width, 3),
-        depth=depth.reshape(height, width),
-        object_ids=object_ids.reshape(height, width),
-        hit_mask=hit.reshape(height, width),
+    return default_engine().render_field(
+        field,
+        camera,
+        background=background,
+        max_steps=max_steps,
+        hit_epsilon=hit_epsilon,
+        max_distance=max_distance,
     )
 
 
@@ -166,58 +136,18 @@ def render_scene(
             four times the scene extent).
         shading: when false, the raw albedo is returned without lighting
             (useful for texture-frequency analysis in isolation).
+
+    This is a thin wrapper over the shared :class:`~repro.render.RenderEngine`
+    (see :mod:`repro.render`); use the engine directly for cross-view
+    batching and render caching.
     """
-    origins, directions = camera_rays(camera)
-    num_rays = origins.shape[0]
-    if max_distance is None:
-        max_distance = 4.0 * max(scene.extent, 1.0) + float(
-            np.linalg.norm(camera.position - scene.center)
-        )
+    from repro.render.engine import default_engine
 
-    t_values = np.zeros(num_rays)
-    active = np.ones(num_rays, dtype=bool)
-    hit = np.zeros(num_rays, dtype=bool)
-
-    for _ in range(max_steps):
-        if not active.any():
-            break
-        points = origins[active] + t_values[active, None] * directions[active]
-        distances = scene.sdf(points)
-        active_indices = np.flatnonzero(active)
-
-        newly_hit = distances < hit_epsilon
-        hit[active_indices[newly_hit]] = True
-        active[active_indices[newly_hit]] = False
-
-        advancing = ~newly_hit
-        step = np.maximum(distances[advancing], hit_epsilon)
-        t_values[active_indices[advancing]] += step
-
-        escaped = t_values[active_indices[advancing]] > max_distance
-        escaped_global = active_indices[advancing][escaped]
-        active[escaped_global] = False
-
-    height, width = camera.height, camera.width
-    rgb = np.tile(scene.background_color, (num_rays, 1))
-    depth = np.full(num_rays, np.inf)
-    object_ids = np.full(num_rays, -1, dtype=int)
-
-    if hit.any():
-        hit_points = origins[hit] + t_values[hit, None] * directions[hit]
-        _, ids = scene.classify(hit_points)
-        albedo = scene.albedo(hit_points)
-        if shading:
-            normals = estimate_normals(scene, hit_points, epsilon=1e-3)
-            colors = shade_lambertian(albedo, normals)
-        else:
-            colors = albedo
-        rgb[hit] = colors
-        depth[hit] = t_values[hit]
-        object_ids[hit] = ids
-
-    return RenderResult(
-        rgb=rgb.reshape(height, width, 3),
-        depth=depth.reshape(height, width),
-        object_ids=object_ids.reshape(height, width),
-        hit_mask=hit.reshape(height, width),
+    return default_engine().render_scene(
+        scene,
+        camera,
+        max_steps=max_steps,
+        hit_epsilon=hit_epsilon,
+        max_distance=max_distance,
+        shading=shading,
     )

@@ -57,6 +57,11 @@ class PlacedObject:
     def _to_local(self, points: np.ndarray) -> np.ndarray:
         return (np.asarray(points, dtype=np.float64) - self.translation) / self.scale
 
+    @property
+    def sdf_lipschitz(self) -> float:
+        """Uniform scaling and translation preserve the object's bound."""
+        return float(getattr(self.obj, "sdf_lipschitz", 1.0))
+
     def sdf(self, points: np.ndarray) -> np.ndarray:
         """Signed distance in world space (scale-corrected)."""
         return self.obj.sdf(self._to_local(points)) * self.scale
@@ -98,6 +103,13 @@ class Scene:
         self.background_color = np.asarray(background_color, dtype=np.float64)
 
     # -- field protocol ----------------------------------------------------
+
+    @property
+    def sdf_lipschitz(self) -> float:
+        """A min-union of SDFs keeps the largest member bound."""
+        return max(
+            float(getattr(placed, "sdf_lipschitz", 1.0)) for placed in self.placed
+        )
 
     def sdf(self, points: np.ndarray) -> np.ndarray:
         """Signed distance to the closest surface of any object."""

@@ -64,6 +64,64 @@ class TestVoxelize:
         with pytest.raises(ValueError):
             voxelize_field(sphere, resolution=1)
 
+    def test_hierarchical_sampling_matches_exhaustive(self, sphere):
+        """The Lipschitz-pruned coarse-to-fine voxelisation must produce the
+        exact occupancy of evaluating every cell centre."""
+        from repro.baking.voxelize import _chunked_sdf, _cubic_bounds
+        from repro.nerf.degradation import DegradedField
+
+        for field in (sphere, DegradedField(sphere, 0.01, seed=0)):
+            for resolution in (32, 48):
+                lo, hi = _cubic_bounds(field.bounds_min, field.bounds_max, 0.06)
+                voxel = float((hi - lo)[0]) / resolution
+                coords = (np.arange(resolution) + 0.5) * voxel
+                gx, gy, gz = np.meshgrid(coords, coords, coords, indexing="ij")
+                centers = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3) + lo
+                exhaustive = (_chunked_sdf(field, centers, 262144) <= 0.0).reshape(
+                    resolution, resolution, resolution
+                )
+                grid = voxelize_field(field, resolution=resolution)
+                assert np.array_equal(grid.occupancy, exhaustive)
+
+    def test_unadvertised_lipschitz_forces_exhaustive_sampling(self):
+        """A field that does not advertise ``sdf_lipschitz`` (e.g. an
+        MLP-backed pseudo-SDF with unbounded gradients) must be sampled
+        exhaustively — assuming 1-Lipschitz would corrupt its occupancy."""
+
+        class SteepField:
+            bounds_min = np.array([-1.0, -1.0, -1.0])
+            bounds_max = np.array([1.0, 1.0, 1.0])
+
+            def sdf(self, points):
+                # 40x steeper than a true SDF: thin shells a 1-Lipschitz
+                # pruning bound would skip right over.
+                radius = np.linalg.norm(points, axis=1)
+                return np.sin(40.0 * radius) * 0.05
+
+        field = SteepField()
+        assert not hasattr(field, "sdf_lipschitz")
+        grid = voxelize_field(field, resolution=32)
+        from repro.baking.voxelize import _chunked_sdf, _cubic_bounds
+
+        lo, hi = _cubic_bounds(field.bounds_min, field.bounds_max, 0.06)
+        voxel = float((hi - lo)[0]) / 32
+        coords = (np.arange(32) + 0.5) * voxel
+        gx, gy, gz = np.meshgrid(coords, coords, coords, indexing="ij")
+        centers = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3) + lo
+        exhaustive = (_chunked_sdf(field, centers, 262144) <= 0.0).reshape(32, 32, 32)
+        assert np.array_equal(grid.occupancy, exhaustive)
+
+    def test_floater_fields_have_no_finite_lipschitz_bound(self, sphere):
+        """Floaters appear discontinuously, so such fields must force the
+        exhaustive sampling path."""
+        from repro.nerf.degradation import DegradedField
+
+        with_floaters = DegradedField(sphere, 0.08, seed=0)
+        assert with_floaters.floater_rate > 0
+        assert not np.isfinite(with_floaters.sdf_lipschitz)
+        without = DegradedField(sphere, 0.08, floater_rate=0.0, seed=0)
+        assert np.isfinite(without.sdf_lipschitz)
+
     def test_mismatched_occupancy_shape_rejected(self):
         with pytest.raises(ValueError):
             VoxelGrid(origin=np.zeros(3), voxel_size=0.1, resolution=4, occupancy=np.zeros((3, 3, 3), bool))
@@ -184,11 +242,18 @@ class TestSizeAccounting:
         large = bake_field(sphere, 32, 2).size_mb()
         assert large > small
 
-    def test_dense_grid_term_dominates_at_high_granularity(self, sphere):
+    def test_texture_term_dominates_at_high_patch_size(self, sphere):
+        """The byte budget of a baked model is carried by its feature
+        texels (as in real MobileNeRF-class bundles), not by the compressed
+        per-cell volume data — the miscalibration that once made the dense
+        ``g^3`` term dominate priced detail granularities out of every
+        mobile budget (the Fig. 4 regression)."""
         constants = SizeConstants()
-        baked = bake_field(sphere, 32, 1, size_constants=constants)
+        baked = bake_field(sphere, 32, 4, size_constants=constants)
+        textures = baked.num_faces * 4**2 * constants.texel_bytes
         dense = 32**3 * constants.dense_grid_bytes_per_cell
-        assert dense > 0.5 * baked.size_bytes()
+        assert textures > 0.5 * baked.size_bytes()
+        assert dense < 0.1 * baked.size_bytes()
 
     @given(g=st.integers(4, 32), p=st.integers(1, 6))
     @settings(max_examples=20, deadline=None)

@@ -1,5 +1,7 @@
 """Tests for the lightweight profiler (white-box quality/size models)."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -78,6 +80,31 @@ class TestQualityModel:
     def test_too_few_samples_rejected(self):
         with pytest.raises(ValueError):
             QualityModel.fit([Configuration(16, 1), Configuration(32, 1)], np.array([0.5, 0.6]))
+
+    def test_degenerate_measurements_fit_without_warnings(self):
+        """Constant / collinear measurements make curve_fit's covariance
+        inestimable; the fit must fall back deterministically instead of
+        emitting an OptimizeWarning."""
+        configs = list(SPACE.profiling_configs())
+        constant = np.full(len(configs), 0.8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            model = QualityModel.fit(configs, constant)
+        assert model.predict(Configuration(64, 4)) == pytest.approx(0.8, abs=0.05)
+        # The fallback is deterministic: fitting twice gives the same model.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = QualityModel.fit(configs, constant)
+        assert (model.qmax, model.k, model.a, model.b) == (
+            again.qmax, again.k, again.a, again.b,
+        )
+
+    def test_fitter_on_degenerate_measure_emits_no_warnings(self):
+        fitter = ProfileFitter(SPACE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            profile = fitter.fit("flat", lambda config: (0.5, 1.0 + config.granularity))
+        assert profile.predict_quality(Configuration(64, 4)) == pytest.approx(0.5, abs=0.05)
 
     @given(
         qmax=st.floats(0.8, 1.0),

@@ -1,0 +1,138 @@
+"""Regression test for the Fig. 4 detail-region quality gap (unit tier).
+
+The seed reproduction failed the paper's central Fig. 4 claim: NeRFlex's
+detail-region SSIM trailed Instant-NGP by ~0.11 instead of matching it.
+Root cause: the baked-size calibration charged 128 bytes per dense grid
+cell, so the ``g^3`` volume term dominated every model's byte budget and
+priced the granularity the detail objects need (``g ~ 96+``) out of any
+mobile budget — the selector could only afford ``g = 64`` everywhere.  The
+fix re-calibrates :class:`~repro.baking.baked_model.SizeConstants` so the
+byte budget is carried by feature texels and geometry (as in real
+MobileNeRF-class bundles) and routes the segmentation module's detail
+frequencies into the selector objective as per-object weights.
+
+This file reproduces the end-to-end comparison at a small resolution so the
+regression is caught in seconds by the unit tier rather than minutes inside
+``benchmarks/``.  Everything is seeded and jitter-free, so the scores are
+deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baking.baked_model import DEFAULT_SIZE_CONSTANTS
+from repro.baselines import NGPEmulator
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.pipeline import NeRFlexPipeline, PipelineConfig
+from repro.device.models import DeviceProfile
+from repro.metrics import ssim
+from repro.render import default_engine
+from repro.scenes.dataset import generate_dataset
+from repro.scenes.library import make_realworld_scene
+
+#: Paper tolerance of Fig. 4 / Table I: NeRFlex's detail-region SSIM must
+#: stay within 0.03 of the Instant-NGP workstation reference.
+NGP_TOLERANCE = 0.03
+
+
+@pytest.fixture(scope="module")
+def fig4_small():
+    """A small forward-facing real-world-style comparison (seeded)."""
+    scene = make_realworld_scene(seed=0, num_objects=2)
+    dataset = generate_dataset(
+        scene,
+        num_train=4,
+        num_test=1,
+        resolution=80,
+        trajectory="forward",
+        name="fig4-small",
+    )
+    # An "iPhone-13-like" budget scaled to the small scene: it binds (the
+    # full-configuration bundle would not fit) without starving everything.
+    device = DeviceProfile(
+        name="tiny-iphone", memory_budget_mb=90.0, hard_memory_limit_mb=90.0
+    )
+    config = PipelineConfig(
+        config_space=ConfigurationSpace(
+            granularities=(16, 24, 32, 48, 64, 96), patch_sizes=(1, 2, 4)
+        ),
+        profile_resolution=96,
+        num_eval_views=1,
+        object_eval_resolution=104,
+        num_fps_frames=100,
+    )
+    pipeline = NeRFlexPipeline(device, config)
+    preparation, model, report = pipeline.run(dataset)
+    return scene, dataset, preparation, model, report
+
+
+def detail_region_ssim(scene, dataset, rendered) -> float:
+    """SSIM over the foreground-object (high-frequency detail) pixels."""
+    foreground = [
+        placed.instance_id
+        for placed in scene.placed
+        if placed.instance_name != "backdrop"
+    ]
+    view = dataset.test_views[0]
+    mask = np.isin(view.object_ids, foreground)
+    assert mask.sum() >= 32
+    return float(ssim(view.rgb, rendered.rgb, mask=mask))
+
+
+class TestFig4DetailRegion:
+    def test_nerflex_within_ngp_tolerance_under_budget(self, fig4_small):
+        """The paper's headline: detail-based segmentation + the DP selector
+        recover workstation-class detail quality under a mobile budget."""
+        scene, dataset, preparation, model, report = fig4_small
+        assert report.loaded, "NeRFlex must fit the scaled device budget"
+        assert model.size_mb() <= 90.0 + 1e-6
+
+        engine = default_engine()
+        camera = dataset.test_cameras[0]
+        nerflex = detail_region_ssim(
+            scene,
+            dataset,
+            engine.render_baked(model, camera, background=scene.background_color),
+        )
+        ngp_field = NGPEmulator().build_field(dataset)
+        ngp = detail_region_ssim(
+            scene,
+            dataset,
+            engine.render_field(ngp_field, camera, background=scene.background_color),
+        )
+        assert nerflex >= ngp - NGP_TOLERANCE, (
+            f"detail-region SSIM regressed: NeRFlex {nerflex:.4f} vs "
+            f"Instant-NGP {ngp:.4f} (tolerance {NGP_TOLERANCE})"
+        )
+
+    def test_detail_weights_flow_into_selector(self, fig4_small):
+        """Segmentation detail frequencies reach the selector objective:
+        the low-frequency backdrop must not outweigh the detail objects."""
+        _, _, preparation, _, _ = fig4_small
+        weights = {p.name: p.detail_weight for p in preparation.profiles}
+        assert weights["backdrop"] < min(
+            w for name, w in weights.items() if name != "backdrop"
+        )
+        assert np.mean(list(weights.values())) == pytest.approx(1.0, abs=1e-9)
+
+    def test_size_model_is_texture_dominated(self):
+        """The regression's mechanism: a dense ``g^3`` volume term must not
+        dominate the byte budget; textures carry it (MobileNeRF-style)."""
+        constants = DEFAULT_SIZE_CONSTANTS
+        g, p = 96, 4
+        faces = 15_000  # a typical detail object at g=96
+        dense = g**3 * constants.dense_grid_bytes_per_cell
+        textures = faces * p**2 * constants.texel_bytes
+        total = constants.model_bytes(
+            num_faces=faces, patch_size=p, num_occupied_voxels=40_000, grid_resolution=g
+        )
+        assert textures > 0.5 * total
+        assert dense < 0.1 * total
+
+    def test_selected_bundle_respects_budget_accounting(self, fig4_small):
+        """Deployed sizes come from the shared constants and sum correctly."""
+        _, _, preparation, model, report = fig4_small
+        assert report.size_mb == pytest.approx(model.size_mb())
+        assert sum(report.per_object_size_mb.values()) == pytest.approx(model.size_mb())
+        for name, config in preparation.selection.assignments.items():
+            assert isinstance(config, Configuration)
