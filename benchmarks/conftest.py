@@ -38,6 +38,7 @@ from repro.core.pipeline import (
 from repro.core.selector import NeRFlexDPSelector
 from repro.core.selector_baselines import FairnessSelector, SLSQPSelector
 from repro.device.models import DeviceProfile, IPHONE_13, PIXEL_4
+from repro.exec import ArtifactStore
 from repro.metrics import lpips_proxy, ssim
 from repro.render import default_engine
 from repro.scenes.dataset import generate_dataset
@@ -129,7 +130,15 @@ def print_table(title: str, header: list, rows: list) -> None:
 
 
 class ReproductionHarness:
-    """Lazy, memoised builder of every artefact the benchmarks need."""
+    """Lazy, memoised builder of every artefact the benchmarks need.
+
+    Besides the per-key memo dicts, the harness owns one session-scoped
+    :class:`~repro.exec.ArtifactStore`: every NeRFlex pipeline spawned for a
+    (scene, device, selector) combination shares it, so profile curves fit
+    for one device are reused by every other device/selector configuration
+    on the same scene, and baked sub-models are reused wherever two
+    configurations select the same ``(g, p)`` for an object.
+    """
 
     def __init__(self) -> None:
         self._datasets: dict = {}
@@ -139,6 +148,7 @@ class ReproductionHarness:
         self._block_models: dict = {}
         self._baked_reports: dict = {}
         self._field_reports: dict = {}
+        self.artifacts = ArtifactStore()
 
     # -- datasets -----------------------------------------------------------
 
@@ -186,6 +196,7 @@ class ReproductionHarness:
                 make_pipeline_config(),
                 selector=SELECTORS[selector_name](),
                 measurement_cache=self.cache(scene_key),
+                artifacts=self.artifacts,
             )
             self._nerflex_runs[key] = pipeline.run(dataset)
         return self._nerflex_runs[key]
@@ -322,3 +333,9 @@ class ReproductionHarness:
 @pytest.fixture(scope="session")
 def harness() -> ReproductionHarness:
     return ReproductionHarness()
+
+
+@pytest.fixture(scope="session")
+def artifact_store(harness) -> ArtifactStore:
+    """The artifact store shared by every pipeline the figure suite builds."""
+    return harness.artifacts

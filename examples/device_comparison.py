@@ -7,7 +7,13 @@ the same scene is prepared for an iPhone 13 (240 MB budget) and a Pixel 4
 objects per device; the baselines either overflow the device or give up
 quality everywhere.
 
+Both device runs share one content-addressed artifact store, so the second
+device reuses every profile curve fitted for the first (the profiles depend
+on the scene, never the device) — the stage timings printed per device show
+the profiler stage collapsing to almost nothing on the second run.
+
 Run with:  python examples/device_comparison.py
+Select an execution backend with REPRO_BACKEND=serial|thread|process.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.baselines import BlockNeRFBaseline, SingleNeRFBaseline
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.pipeline import NeRFlexPipeline, PipelineConfig, evaluate_baked_deployment
 from repro.device.models import IPHONE_13, PIXEL_4
+from repro.exec import ArtifactStore
 from repro.scenes.dataset import generate_dataset
 from repro.scenes.library import make_simulated_scene
 
@@ -32,22 +39,36 @@ def main() -> None:
         num_eval_views=1,
     )
     shared_cache: dict = {}
+    artifacts = ArtifactStore()
 
     for device in (IPHONE_13, PIXEL_4):
-        pipeline = NeRFlexPipeline(device, config, measurement_cache=shared_cache)
+        pipeline = NeRFlexPipeline(
+            device, config, measurement_cache=shared_cache, artifacts=artifacts
+        )
         preparation, multi_model, report = pipeline.run(dataset)
         print(f"--- NeRFlex on {device.name} (budget {device.memory_budget_mb:.0f} MB) ---")
         for name, cfg in sorted(preparation.selection.assignments.items()):
             print(f"  {name:8s} g={cfg.granularity:3d} p={cfg.patch_size}  {report.per_object_size_mb[name]:6.1f} MB")
         print(
             f"  total {report.size_mb:.1f} MB | scene SSIM {report.ssim:.4f} | "
-            f"avg FPS {report.average_fps:.1f}\n"
+            f"avg FPS {report.average_fps:.1f}"
         )
+        stage_line = "  ".join(
+            f"{stage} {seconds:.2f}s" for stage, seconds in report.stage_seconds.items()
+        )
+        print(f"  stages ({report.backend_name} backend): {stage_line}\n")
+
+    print(
+        f"Artifact store after both devices: {len(artifacts)} artefacts, "
+        f"{artifacts.stats.hits} reused, reuse by kind {artifacts.reuse_by_kind()}\n"
+    )
 
     # Resource-oblivious baselines at the recommended configuration.
     baseline_config = Configuration(96, 3)  # scaled-down recommended config for this example
     single_model = SingleNeRFBaseline(config=baseline_config).bake(dataset)
-    block_model = BlockNeRFBaseline(config=baseline_config).bake(dataset)
+    block_model = BlockNeRFBaseline(config=baseline_config).bake(
+        dataset, geometry_cache=shared_cache
+    )
     for label, model in [("Single NeRF (MobileNeRF)", single_model), ("Block-NeRF", block_model)]:
         for device in (IPHONE_13, PIXEL_4):
             report = evaluate_baked_deployment(

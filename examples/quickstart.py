@@ -1,16 +1,19 @@
-"""Quickstart: run the full NeRFlex pipeline on a small synthetic scene.
+"""Quickstart: run the staged NeRFlex pipeline on a small synthetic scene.
 
 This walks through the paper's workflow end to end on a laptop-sized
-workload:
+workload, stage by stage:
 
 1. build a multi-object scene and render its training/testing views;
-2. run detail-based segmentation, lightweight profiling and the DP
+2. run the staged preparation — detail-based segmentation, lightweight
+   profiling (fanned out through the execution backend) and the DP
    configuration selector for a target mobile device;
 3. bake the selected per-object representations;
 4. "deploy" the bundle to the device simulator and report data size,
-   rendering quality and the simulated frame rate.
+   rendering quality, the simulated frame rate — and the wall-clock split
+   of every stage.
 
 Run with:  python examples/quickstart.py
+Select an execution backend with REPRO_BACKEND=serial|thread|process.
 """
 
 from __future__ import annotations
@@ -30,13 +33,15 @@ def main() -> None:
     print(f"Training views: {dataset.num_train}, test views: {dataset.num_test}")
 
     # 2. NeRFlex preparation for the iPhone 13 budget (240 MB).  A reduced
-    #    configuration space keeps this example fast.
+    #    configuration space keeps this example fast.  The backend is
+    #    resolved from REPRO_BACKEND (serial / thread / process).
     config = PipelineConfig(
         config_space=ConfigurationSpace(granularities=(16, 24, 32, 48, 64), patch_sizes=(1, 2, 3)),
         profile_resolution=112,
         object_eval_resolution=112,
     )
     pipeline = NeRFlexPipeline(IPHONE_13, config)
+    print(f"Execution backend: {pipeline.backend.describe()}")
     preparation = pipeline.prepare(dataset)
 
     print("\nDetail-based segmentation:")
@@ -55,7 +60,7 @@ def main() -> None:
             f"SSIM {preparation.selection.predicted_quality[name]:.3f})"
         )
 
-    # 3 + 4. Bake and deploy.
+    # 3 + 4. Bake and deploy (timed as their own stages on the shared timers).
     multi_model = pipeline.bake(preparation)
     report = pipeline.deploy(multi_model, dataset, preparation)
 
@@ -65,7 +70,13 @@ def main() -> None:
     print(f"  scene SSIM      : {report.ssim:.4f}   PSNR: {report.psnr:.2f} dB   LPIPS: {report.lpips:.4f}")
     print(f"  average FPS     : {report.average_fps:.1f}")
     print("  per-object SSIM :", {k: round(v, 3) for k, v in report.per_object_ssim.items()})
-    print("\nPreparation overhead (s):", {k: round(v, 2) for k, v in preparation.overhead_seconds.items()})
+
+    print(f"\nStage timings ({report.backend_name} backend):")
+    for stage, seconds in report.stage_seconds.items():
+        worker = report.worker_seconds.get(stage)
+        extra = f"  (worker-side {worker:.2f} s)" if worker else ""
+        print(f"  {stage:12s} {seconds:7.2f} s{extra}")
+    print(f"  {'total':12s} {sum(report.stage_seconds.values()):7.2f} s")
 
 
 if __name__ == "__main__":

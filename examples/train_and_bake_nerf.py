@@ -7,50 +7,67 @@ albedo field, baked into the mesh/texture representation at two different
 configurations, and compared against ground truth — showing the
 quality-versus-size trade-off that NeRFlex's profiler models.
 
+All rendering goes through one :class:`repro.render.RenderEngine` (the
+batched, cached engine behind the whole library) rather than the legacy
+module-level wrappers, and every phase's wall-clock is reported via
+:class:`repro.utils.timing.StageTimer`.
+
 Run with:  python examples/train_and_bake_nerf.py   (takes a minute or two)
+Select an execution backend with REPRO_BACKEND=serial|thread|process.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.baking import bake_field, render_baked
+from repro.baking import bake_field
 from repro.metrics import psnr, ssim
-from repro.nerf import train_distilled_field, train_nerf_from_images, volume_render_field
+from repro.nerf import train_distilled_field, train_nerf_from_images
+from repro.render import RenderEngine
 from repro.scenes.cameras import orbit_cameras
 from repro.scenes.library import make_single_object_scene
-from repro.scenes.raytrace import render_scene
+from repro.utils.timing import StageTimer
 
 
 def main() -> None:
+    timers = StageTimer()
+    engine = RenderEngine()
+    print(f"Execution backend: {engine.backend.describe()}")
+
     scene = make_single_object_scene("torus")
     cameras = orbit_cameras(scene.center, radius=1.35 * scene.extent, count=6, width=48, height=48)
-    views = [render_scene(scene, camera) for camera in cameras]
+    with timers.time("ground-truth"):
+        # One cross-view batch renders all six training views together.
+        views = engine.render_scene_views(scene, cameras, scene_key="torus-example")
     test_camera = orbit_cameras(
         scene.center, radius=1.35 * scene.extent, count=1, elevation_deg=40.0, width=96, height=96
     )[0]
-    reference = render_scene(scene, test_camera)
+    with timers.time("ground-truth"):
+        reference = engine.render_scene(scene, test_camera, scene_key="torus-example")
 
     # 1. Classic NeRF training from images (photometric loss, manual gradients).
-    print("Training an image-based NeRF (numpy MLP)...")
-    nerf, log = train_nerf_from_images(
-        views, cameras, scene.bounds_min, scene.bounds_max,
-        num_iterations=250, rays_per_batch=192, num_samples=32, seed=0,
-    )
+    print("\nTraining an image-based NeRF (numpy MLP)...")
+    with timers.time("train"):
+        nerf, log = train_nerf_from_images(
+            views, cameras, scene.bounds_min, scene.bounds_max,
+            num_iterations=250, rays_per_batch=192, num_samples=32, seed=0,
+        )
     print(f"  photometric loss: {log.initial_loss:.4f} -> {log.final_loss:.4f}")
-    rendered = volume_render_field(nerf, test_camera, num_samples=96)
+    with timers.time("render"):
+        rendered = engine.volume_render_field(nerf, test_camera, num_samples=96)
     print(f"  volume-rendered novel view vs ground truth: SSIM {ssim(reference.rgb, rendered.rgb):.3f}")
 
     # 2. Distillation training (fast path used when the target field is known).
     print("\nDistilling the analytic field into an MLP field...")
-    distilled, dist_log = train_distilled_field(scene, num_iterations=400, batch_size=1024, seed=0)
+    with timers.time("distill"):
+        distilled, dist_log = train_distilled_field(scene, num_iterations=400, batch_size=1024, seed=0)
     print(f"  distillation loss: {dist_log.initial_loss:.4f} -> {dist_log.final_loss:.4f}")
 
     # 3. Bake the distilled field at two configurations and compare.
     print("\nBaking the distilled field (the mobile-ready representation):")
     for granularity, patch in [(24, 2), (56, 3)]:
-        baked = bake_field(distilled, granularity, patch, name=f"torus_g{granularity}")
-        view = render_baked(baked, test_camera)
+        with timers.time("bake"):
+            baked = bake_field(distilled, granularity, patch, name=f"torus_g{granularity}")
+        with timers.time("render"):
+            view = engine.render_baked(baked, test_camera)
         print(
             f"  (g={granularity:3d}, p={patch})  size {baked.size_mb():6.2f} MB, "
             f"{baked.num_faces:6d} faces | SSIM {ssim(reference.rgb, view.rgb):.3f}, "
@@ -59,6 +76,11 @@ def main() -> None:
 
     print("\nHigher granularity costs more memory and buys more quality — the")
     print("trade-off NeRFlex's profiler predicts and its DP selector optimises.")
+
+    print("\nStage timings:")
+    for stage, seconds in timers.as_dict().items():
+        print(f"  {stage:13s} {seconds:7.2f} s")
+    print(f"  {'total':13s} {timers.total():7.2f} s")
 
 
 if __name__ == "__main__":

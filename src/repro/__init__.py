@@ -48,6 +48,12 @@ _LAZY_EXPORTS = {
     "PIXEL_4": ("repro.device.models", "PIXEL_4"),
     "RenderEngine": ("repro.render.engine", "RenderEngine"),
     "RenderCache": ("repro.render.cache", "RenderCache"),
+    "ArtifactStore": ("repro.exec.artifacts", "ArtifactStore"),
+    "Backend": ("repro.exec.backends", "Backend"),
+    "SerialBackend": ("repro.exec.backends", "SerialBackend"),
+    "ThreadBackend": ("repro.exec.backends", "ThreadBackend"),
+    "ProcessBackend": ("repro.exec.backends", "ProcessBackend"),
+    "resolve_backend": ("repro.exec.backends", "resolve_backend"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

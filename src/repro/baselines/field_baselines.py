@@ -91,12 +91,17 @@ class _FieldEmulator:
             self.seed,
         )
 
-    def run(self, dataset, num_eval_views: int = 2) -> FieldBaselineReport:
-        """Volume-render the field on the test views and score quality."""
+    def run(self, dataset, num_eval_views: int = 2, engine=None) -> FieldBaselineReport:
+        """Volume-render the field on the test views and score quality.
+
+        Rendering goes through ``engine`` (the shared default engine when
+        omitted), so the evaluation inherits that engine's execution
+        backend and render cache.
+        """
         field_model = self.build_field(dataset)
         views = dataset.test_views[: max(num_eval_views, 1)]
         cameras = dataset.test_cameras[: max(num_eval_views, 1)]
-        engine = default_engine()
+        engine = engine or default_engine()
         if self.renderer == "volume":
             rendered_views = engine.volume_render_views(
                 field_model,

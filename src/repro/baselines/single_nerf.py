@@ -82,6 +82,7 @@ class SingleNeRFBaseline:
         num_eval_views: int = 2,
         num_fps_frames: int = 2000,
         gt_cache: "dict | None" = None,
+        engine=None,
     ) -> DeploymentReport:
         """Bake, deploy and score the single-NeRF representation."""
         multi_model = self.bake(dataset)
@@ -94,4 +95,5 @@ class SingleNeRFBaseline:
             num_fps_frames=num_fps_frames,
             seed=self.seed,
             gt_cache=gt_cache,
+            engine=engine,
         )

@@ -20,6 +20,7 @@ the overhead analysis (Fig. 9).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.baking.baked_model import (
     DEFAULT_SIZE_CONSTANTS,
     SizeConstants,
     bake_field,
+    bake_geometry,
     field_cache_identity,
 )
 from repro.core.config_space import Configuration, ConfigurationSpace
@@ -38,10 +40,17 @@ from repro.core.selector import NeRFlexDPSelector, SelectionResult
 from repro.device.memory import MemoryModel
 from repro.device.models import DeviceProfile
 from repro.device.render_sim import RenderSimulator
+from repro.exec.artifacts import ArtifactStore
+from repro.exec.backends import Backend, resolve_backend
 from repro.metrics import lpips_proxy, psnr, ssim
 from repro.metrics.fps import FPSTrace
 from repro.nerf.degradation import DegradedField, coverage_detail_scale
-from repro.render.engine import RenderEngine, default_cache, default_engine
+from repro.render.engine import (
+    RenderEngine,
+    _content_identity,
+    default_cache,
+    default_engine,
+)
 from repro.scenes.cameras import orbit_cameras
 from repro.utils.timing import StageTimer
 
@@ -71,8 +80,17 @@ class PipelineConfig:
         seed: seed for the degradation noise and the FPS simulation.
         render_chunk_rays: ray-chunk size of the pipeline's render engine
             (bounds peak memory of the sample-heavy render paths).
-        render_workers: worker threads of the render engine (independent ray
-            chunks march concurrently; output is identical for any count).
+        render_workers: worker count of the execution backend (independent
+            ray chunks / profiler measurements / bakes run concurrently;
+            output is bit-identical for any count).  ``None`` (the default)
+            means the backend's own default — 1 for serial/thread, the host
+            CPU count for the process pool; an explicit count is always
+            honoured, so ``render_workers=1`` bounds even a process backend
+            to one worker.
+        backend: execution-backend name (``"serial"`` / ``"thread"`` /
+            ``"process"``); ``None`` consults the ``REPRO_BACKEND``
+            environment variable and defaults to the behaviour-preserving
+            thread backend.  See :mod:`repro.exec.backends`.
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -88,7 +106,8 @@ class PipelineConfig:
     object_eval_resolution: int = 176
     seed: int = 0
     render_chunk_rays: int = 8192
-    render_workers: int = 1
+    render_workers: "int | None" = None
+    backend: "str | None" = None
 
 
 @dataclass
@@ -103,9 +122,22 @@ class PreparationResult:
     truths: dict
     dataset_name: str = ""
 
+    #: Stage names that constitute the paper's one-shot preparation overhead.
+    PREPARATION_STAGES = ("segmentation", "profiler", "solver")
+
     @property
     def overhead_seconds(self) -> dict:
-        """Wall-clock split across segmentation / profiler / solver (Fig. 9)."""
+        """Wall-clock split across segmentation / profiler / solver (Fig. 9).
+
+        Restricted to the paper's preparation stages even after ``bake`` /
+        ``deploy`` have added their own stages to the shared timers.
+        """
+        stages = self.timers.as_dict()
+        return {name: stages[name] for name in self.PREPARATION_STAGES if name in stages}
+
+    @property
+    def stage_seconds(self) -> dict:
+        """Wall-clock of every recorded stage, bake and deploy included."""
         return self.timers.as_dict()
 
 
@@ -130,6 +162,9 @@ class DeploymentReport:
     num_submodels: int = 1
     selection: "SelectionResult | None" = None
     overhead_seconds: dict = field(default_factory=dict)
+    backend_name: str = ""
+    stage_seconds: dict = field(default_factory=dict)
+    worker_seconds: dict = field(default_factory=dict)
 
     @property
     def average_fps(self) -> float:
@@ -188,6 +223,8 @@ def evaluate_baked_deployment(
     object_eval_resolution: int = 176,
     gt_cache: "dict | None" = None,
     engine: "RenderEngine | None" = None,
+    backend_name: str = "",
+    worker_seconds: "dict | None" = None,
 ) -> DeploymentReport:
     """Score a baked multi-NeRF bundle on a dataset and device.
 
@@ -278,6 +315,8 @@ def evaluate_baked_deployment(
         num_submodels=multi_model.num_submodels,
         selection=selection,
         overhead_seconds=dict(overhead_seconds or {}),
+        backend_name=backend_name or (engine.backend.name if engine else ""),
+        worker_seconds=dict(worker_seconds or {}),
     )
 
 
@@ -299,7 +338,17 @@ class NeRFlexPipeline:
             views are cached separately by the render engine.
         engine: render engine used for every ground-truth and baked render;
             defaults to one built from the config's chunk/worker knobs that
-            shares the process-wide render cache.
+            shares the process-wide render cache and this pipeline's
+            execution backend.
+        artifacts: optional :class:`~repro.exec.artifacts.ArtifactStore`.
+            When present, the profile stage reuses fitted profile curves and
+            the bake stage reuses baked sub-models whose content-addressed
+            keys match — across devices, selectors and repeated
+            ``prepare()`` calls (the keys carry content fingerprints and
+            every preparation knob, never the device).
+        backend: execution backend for the pipeline's bulk stages (profiler
+            measurements, per-object bake geometry) — an instance, a name,
+            or ``None`` to use ``config.backend`` / ``REPRO_BACKEND``.
     """
 
     def __init__(
@@ -310,6 +359,8 @@ class NeRFlexPipeline:
         segmenter: "DetailBasedSegmenter | None" = None,
         measurement_cache: "dict | None" = None,
         engine: "RenderEngine | None" = None,
+        artifacts: "ArtifactStore | None" = None,
+        backend: "Backend | str | None" = None,
     ) -> None:
         self.device = device
         self.config = config or PipelineConfig()
@@ -318,38 +369,75 @@ class NeRFlexPipeline:
             frequency_threshold=self.config.frequency_threshold
         )
         self.measurement_cache = measurement_cache if measurement_cache is not None else {}
+        self.artifacts = artifacts
+        self.backend = resolve_backend(
+            backend if backend is not None else self.config.backend,
+            workers=self.config.render_workers,
+        )
         self.engine = engine or RenderEngine(
             chunk_rays=self.config.render_chunk_rays,
             workers=self.config.render_workers,
             cache=default_cache(),
+            backend=self.backend,
         )
 
-    # -- preparation ---------------------------------------------------------
+    # -- staged preparation ---------------------------------------------------
 
-    def prepare(self, dataset) -> PreparationResult:
-        """Run segmentation, profiling and configuration selection."""
-        timers = StageTimer()
+    def stage_segment(self, dataset) -> SegmentationResult:
+        """Stage 1: detail-based segmentation of the dataset's scene."""
+        return self.segmenter.segment(dataset)
 
-        with timers.time("segmentation"):
-            segmentation = self.segmenter.segment(dataset)
+    def stage_profile(
+        self, dataset, segmentation: SegmentationResult, timers: "StageTimer | None" = None
+    ) -> tuple:
+        """Stage 2: fit (or reuse) per-sub-scene quality/size profiles.
 
+        Returns ``(fields, truths, profiles)``.  Profile curves are looked
+        up in the artifact store first — they depend on the scene content
+        and the preparation knobs, never on the device, so a store shared
+        across pipelines fits each sub-scene exactly once.  Misses fan their
+        sample measurements out through the execution backend; worker-side
+        time is attributed to the ``"profiler"`` stage on ``timers``.
+        """
         fields: dict = {}
         truths: dict = {}
         profiles: list = []
         fitter = ProfileFitter(self.config.config_space)
-        with timers.time("profiler"):
-            for sub_scene in segmentation.sub_scenes:
-                truth = dataset.scene.subset(sub_scene.instance_ids)
-                field_model = self._build_field(truth, sub_scene)
-                fields[sub_scene.name] = field_model
-                truths[sub_scene.name] = truth
+        for sub_scene in segmentation.sub_scenes:
+            truth = dataset.scene.subset(sub_scene.instance_ids)
+            field_model = self._build_field(truth, sub_scene)
+            fields[sub_scene.name] = field_model
+            truths[sub_scene.name] = truth
+            artifact_key = self._profile_artifact_key(dataset, sub_scene, field_model)
+            profile = self.artifacts.get(artifact_key) if self.artifacts is not None else None
+            if profile is None:
                 measure = self._make_measure_fn(dataset, sub_scene, truth, field_model)
-                profiles.append(fitter.fit(sub_scene.name, measure))
+                profile = fitter.fit(
+                    sub_scene.name,
+                    measure,
+                    map_fn=self._stage_map("profiler", timers),
+                )
+                # Re-apply worker-side memoisation in this process: with the
+                # process backend the measure tasks ran in forked children,
+                # whose measurement_cache writes died with them.
+                for config, measurement in profile.measurements.items():
+                    key = (
+                        dataset.name,
+                        sub_scene.name,
+                        config.granularity,
+                        config.patch_size,
+                    )
+                    self.measurement_cache.setdefault(key, measurement)
+                if self.artifacts is not None:
+                    self.artifacts.put(artifact_key, profile)
+            profiles.append(profile)
 
         # Detail weights: the selector's objective follows the segmentation
         # module's detail frequencies (normalised to mean 1), so texture
         # budget flows toward the high-frequency region the paper evaluates
-        # rather than being spent on low-detail backdrops.
+        # rather than being spent on low-detail backdrops.  Recomputed on
+        # every call (store-reused profiles included): the weights are a
+        # deterministic function of the segmentation.
         frequencies = np.array(
             [sub.max_frequency for sub in segmentation.sub_scenes], dtype=np.float64
         )
@@ -357,12 +445,25 @@ class NeRFlexPipeline:
         if mean_frequency > 0:
             for profile, sub_scene in zip(profiles, segmentation.sub_scenes):
                 profile.detail_weight = float(sub_scene.max_frequency / mean_frequency)
+        return fields, truths, profiles
 
+    def stage_select(self, profiles: list) -> SelectionResult:
+        """Stage 3: pick one configuration per sub-scene under the budget."""
+        selector_budget = self.device.memory_budget_mb * (
+            1.0 - self.config.selector_safety_margin
+        )
+        return self.selector.select(profiles, selector_budget)
+
+    def prepare(self, dataset) -> PreparationResult:
+        """Run the segment -> profile -> select stages, timing each."""
+        timers = StageTimer()
+
+        with timers.time("segmentation"):
+            segmentation = self.stage_segment(dataset)
+        with timers.time("profiler"):
+            fields, truths, profiles = self.stage_profile(dataset, segmentation, timers)
         with timers.time("solver"):
-            selector_budget = self.device.memory_budget_mb * (
-                1.0 - self.config.selector_safety_margin
-            )
-            selection = self.selector.select(profiles, selector_budget)
+            selection = self.stage_select(profiles)
 
         return PreparationResult(
             segmentation=segmentation,
@@ -372,6 +473,50 @@ class NeRFlexPipeline:
             fields=fields,
             truths=truths,
             dataset_name=getattr(dataset, "name", ""),
+        )
+
+    # -- execution-layer plumbing ---------------------------------------------
+
+    def _stage_map(self, stage: str, timers: "StageTimer | None"):
+        """An ordered-map function over this pipeline's execution backend.
+
+        Worker-side task time is attributed to ``stage`` on ``timers``
+        (see :meth:`repro.utils.timing.StageTimer.add_worker`).
+        """
+
+        def mapper(fn, items):
+            return self.backend.map(fn, items, timer=timers, stage=stage)
+
+        return mapper
+
+    def _profile_artifact_key(self, dataset, sub_scene: SubScene, field_model) -> tuple:
+        """Content-addressed artifact key of one sub-scene's profile curves."""
+        space = self.config.config_space
+        return (
+            "profile",
+            getattr(dataset, "name", ""),
+            sub_scene.name,
+            _content_identity(field_model),
+            tuple(space.granularities),
+            tuple(space.patch_sizes),
+            self.config.profile_resolution,
+            self.config.num_profile_views,
+            self.config.seed,
+            self.config.apply_degradation,
+            self.config.size_constants,
+        )
+
+    def _baked_artifact_key(self, dataset_name, name, field_model, config) -> tuple:
+        """Content-addressed artifact key of one baked sub-model."""
+        return (
+            "baked",
+            dataset_name,
+            name,
+            _content_identity(field_model),
+            config.granularity,
+            config.patch_size,
+            self.config.materialize_textures,
+            self.config.size_constants,
         )
 
     def _build_field(self, truth, sub_scene: SubScene):
@@ -435,26 +580,35 @@ class NeRFlexPipeline:
 
     # -- baking and deployment -------------------------------------------------
 
+    def _geometry_key(
+        self, dataset_name: str, name: str, field_model, granularity: int
+    ) -> tuple:
+        """Measurement-cache key of one field's voxelised geometry."""
+        return (
+            "geometry",
+            dataset_name,
+            name,
+            field_cache_identity(field_model),
+            self.config.seed,
+            self.config.apply_degradation,
+            int(granularity),
+        )
+
     def _bake_one(
         self,
         field_model,
         name: str,
         config: Configuration,
         dataset_name: "str | None" = None,
+        geometry: "tuple | None" = None,
     ):
-        geometry = None
         geometry_key = None
         if dataset_name:
-            geometry_key = (
-                "geometry",
-                dataset_name,
-                name,
-                field_cache_identity(field_model),
-                self.config.seed,
-                self.config.apply_degradation,
-                config.granularity,
+            geometry_key = self._geometry_key(
+                dataset_name, name, field_model, config.granularity
             )
-            geometry = self.measurement_cache.get(geometry_key)
+            if geometry is None:
+                geometry = self.measurement_cache.get(geometry_key)
         baked = bake_field(
             field_model,
             granularity=config.granularity,
@@ -468,6 +622,91 @@ class NeRFlexPipeline:
             self.measurement_cache[geometry_key] = (baked.grid, baked.faces)
         return baked
 
+    def _bake_with_store(
+        self, field_model, name: str, config: Configuration, dataset_name: str
+    ):
+        """Bake one sub-scene, consulting the artifact store first."""
+        if self.artifacts is None:
+            return self._bake_one(field_model, name, config, dataset_name=dataset_name)
+        artifact_key = self._baked_artifact_key(dataset_name, name, field_model, config)
+        return self.artifacts.get_or_create(
+            artifact_key,
+            lambda: self._bake_one(field_model, name, config, dataset_name=dataset_name),
+        )
+
+    def stage_bake(
+        self, preparation: PreparationResult, assignments: dict
+    ) -> dict:
+        """Stage 4 (initial pass): bake every sub-scene at its assignment.
+
+        Store-reused bakes return immediately; the misses voxelise their
+        geometry in parallel through the execution backend (geometry is the
+        dominant cost of a lazy-texture bake, and — unlike the baked model's
+        lazy texture, which closes over the field — its grid/face arrays are
+        plain data that pickles cheaply out of forked workers).  Texture
+        lookup objects are then assembled in-process.
+        """
+        dataset_name = preparation.dataset_name
+        sub_scenes = preparation.segmentation.sub_scenes
+        timers = preparation.timers
+        baked: dict = {}
+        pending: list = []
+        for sub_scene in sub_scenes:
+            name = sub_scene.name
+            field_model = preparation.fields[name]
+            config = assignments[name]
+            cached = None
+            if self.artifacts is not None:
+                cached = self.artifacts.get(
+                    self._baked_artifact_key(dataset_name, name, field_model, config)
+                )
+            if cached is not None:
+                baked[name] = cached
+            else:
+                baked[name] = None
+                pending.append((name, field_model, config))
+
+        if pending:
+            geometries: dict = {}
+            tasks: list = []
+            for name, field_model, config in pending:
+                geometry_key = self._geometry_key(
+                    dataset_name, name, field_model, config.granularity
+                )
+                geometry = self.measurement_cache.get(geometry_key)
+                if geometry is None:
+                    tasks.append((geometry_key, field_model, config.granularity))
+                else:
+                    geometries[geometry_key] = geometry
+            if tasks:
+                computed = self.backend.map(
+                    lambda task: bake_geometry(task[1], task[2]),
+                    tasks,
+                    timer=timers,
+                    stage="bake",
+                )
+                for (geometry_key, _, _), geometry in zip(tasks, computed):
+                    self.measurement_cache[geometry_key] = geometry
+                    geometries[geometry_key] = geometry
+            for name, field_model, config in pending:
+                geometry_key = self._geometry_key(
+                    dataset_name, name, field_model, config.granularity
+                )
+                model = self._bake_one(
+                    field_model,
+                    name,
+                    config,
+                    dataset_name=dataset_name,
+                    geometry=geometries[geometry_key],
+                )
+                if self.artifacts is not None:
+                    self.artifacts.put(
+                        self._baked_artifact_key(dataset_name, name, field_model, config),
+                        model,
+                    )
+                baked[name] = model
+        return baked
+
     def bake(self, preparation: PreparationResult) -> BakedMultiModel:
         """Bake every sub-scene at its selected configuration.
 
@@ -476,20 +715,17 @@ class NeRFlexPipeline:
         the safety margin), sub-scenes are downgraded greedily — smallest
         predicted quality loss per MB recovered — and re-baked until the
         bundle fits.  The selection recorded in ``preparation`` is updated to
-        the configurations that were actually deployed.
+        the configurations that were actually deployed.  Wall-clock is
+        recorded as the ``"bake"`` stage on the preparation's timers.
         """
+        with preparation.timers.time("bake"):
+            return self._bake_locked(preparation)
+
+    def _bake_locked(self, preparation: PreparationResult) -> BakedMultiModel:
         assignments = dict(preparation.selection.assignments)
         profiles_by_name = {profile.name: profile for profile in preparation.profiles}
         dataset_name = preparation.dataset_name
-        baked = {
-            sub_scene.name: self._bake_one(
-                preparation.fields[sub_scene.name],
-                sub_scene.name,
-                assignments[sub_scene.name],
-                dataset_name=dataset_name,
-            )
-            for sub_scene in preparation.segmentation.sub_scenes
-        }
+        baked = self.stage_bake(preparation, assignments)
 
         def total_size() -> float:
             return sum(model.size_mb() for model in baked.values())
@@ -514,11 +750,11 @@ class NeRFlexPipeline:
             if best_name is None:
                 break
             assignments[best_name] = best_config
-            baked[best_name] = self._bake_one(
+            baked[best_name] = self._bake_with_store(
                 preparation.fields[best_name],
                 best_name,
                 best_config,
-                dataset_name=dataset_name,
+                dataset_name,
             )
 
         # Record the deployed configurations back onto the selection.
@@ -540,27 +776,46 @@ class NeRFlexPipeline:
         preparation: "PreparationResult | None" = None,
         method: str = "NeRFlex",
     ) -> DeploymentReport:
-        """Evaluate a baked bundle on this pipeline's target device."""
-        return evaluate_baked_deployment(
-            multi_model,
-            dataset,
-            self.device,
-            method=method,
-            num_eval_views=self.config.num_eval_views,
-            num_fps_frames=self.config.num_fps_frames,
-            seed=self.config.seed,
-            selection=preparation.selection if preparation else None,
-            overhead_seconds=preparation.overhead_seconds if preparation else None,
-            object_eval_resolution=self.config.object_eval_resolution,
-            gt_cache=self.measurement_cache,
-            engine=self.engine,
+        """Evaluate a baked bundle on this pipeline's target device.
+
+        When a ``preparation`` is supplied, the evaluation wall-clock is
+        recorded as its ``"deploy"`` stage and the report carries the full
+        stage split (including bake/deploy) plus the backend name and the
+        worker-side per-stage seconds.
+        """
+        timers = preparation.timers if preparation is not None else None
+        context = (
+            timers.time("deploy") if timers is not None else contextlib.nullcontext()
         )
+        with context:
+            report = evaluate_baked_deployment(
+                multi_model,
+                dataset,
+                self.device,
+                method=method,
+                num_eval_views=self.config.num_eval_views,
+                num_fps_frames=self.config.num_fps_frames,
+                seed=self.config.seed,
+                selection=preparation.selection if preparation else None,
+                object_eval_resolution=self.config.object_eval_resolution,
+                gt_cache=self.measurement_cache,
+                engine=self.engine,
+                backend_name=self.backend.name,
+            )
+        if preparation is not None:
+            report.overhead_seconds = preparation.overhead_seconds
+            report.stage_seconds = preparation.stage_seconds
+            report.worker_seconds = timers.worker_as_dict()
+        return report
 
     def run(self, dataset) -> tuple:
-        """Full pipeline: prepare, bake and deploy.
+        """Full staged pipeline: segment/profile/select, bake, deploy.
 
         Returns:
-            ``(preparation, multi_model, report)``.
+            ``(preparation, multi_model, report)``.  Every stage's
+            wall-clock lands on ``preparation.timers`` (``segmentation`` /
+            ``profiler`` / ``solver`` / ``bake`` / ``deploy``), and the
+            report records the split together with the execution backend.
         """
         preparation = self.prepare(dataset)
         multi_model = self.bake(preparation)

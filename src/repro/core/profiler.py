@@ -278,18 +278,30 @@ class ProfileFitter:
         measure,
         config_space: "ConfigurationSpace | None" = None,
         extra_configs: "list | None" = None,
+        map_fn=None,
     ) -> ObjectProfile:
-        """Sample the profiling configurations and fit both models."""
+        """Sample the profiling configurations and fit both models.
+
+        ``map_fn(fn, items)`` — an ordered map, defaulting to a serial loop
+        — executes the sample measurements; passing an execution backend's
+        map (see :mod:`repro.exec.backends`) runs the samples concurrently.
+        Measurements are keyed back to their configuration by position, so
+        any order-preserving map produces identical profiles.
+        """
         space = config_space or self.config_space
         configs = list(space.profiling_configs())
         for config in extra_configs or []:
             if config not in configs:
                 configs.append(config)
 
-        measurements = {}
-        for config in configs:
-            quality, size_mb = measure(config)
-            measurements[config] = (float(quality), float(size_mb))
+        if map_fn is None:
+            results = [measure(config) for config in configs]
+        else:
+            results = map_fn(measure, configs)
+        measurements = {
+            config: (float(quality), float(size_mb))
+            for config, (quality, size_mb) in zip(configs, results)
+        }
 
         sampled = list(measurements)
         qualities = np.array([measurements[c][0] for c in sampled])
@@ -305,17 +317,23 @@ class ProfileFitter:
         )
 
 
-def profile_error_analysis(profile: ObjectProfile, measure, configs: list) -> dict:
+def profile_error_analysis(
+    profile: ObjectProfile, measure, configs: list, map_fn=None
+) -> dict:
     """Prediction-error statistics over held-out configurations.
 
     Mirrors the paper's profiler validation (four objects, 45 configuration
     pairs): returns the mean and standard deviation of the absolute quality
-    and size prediction errors.
+    and size prediction errors.  ``map_fn`` (an ordered map, e.g. an
+    execution backend's) runs the held-out measurements concurrently.
     """
+    if map_fn is None:
+        results = [measure(config) for config in configs]
+    else:
+        results = map_fn(measure, configs)
     quality_errors = []
     size_errors = []
-    for config in configs:
-        quality, size_mb = measure(config)
+    for config, (quality, size_mb) in zip(configs, results):
         quality_errors.append(abs(profile.predict_quality(config) - quality))
         size_errors.append(abs(profile.predict_size(config) - size_mb))
     quality_errors = np.asarray(quality_errors)

@@ -1,0 +1,38 @@
+"""Execution layer: pluggable backends and the content-addressed artefact store.
+
+See :mod:`repro.exec.backends` for the serial / thread / process execution
+backends behind every bulk workload, and :mod:`repro.exec.artifacts` for the
+store that lets staged pipeline runs reuse profile curves and baked models
+across devices, selectors and repeated ``prepare()`` calls.
+"""
+
+from repro.exec.artifacts import ArtifactStats, ArtifactStore
+from repro.exec.backends import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    Backend,
+    DEFAULT_BACKEND_NAME,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    fork_available,
+    in_worker_process,
+    resolve_backend,
+    shard_rng,
+)
+
+__all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "Backend",
+    "DEFAULT_BACKEND_NAME",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "fork_available",
+    "in_worker_process",
+    "resolve_backend",
+    "shard_rng",
+]

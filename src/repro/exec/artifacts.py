@@ -1,0 +1,129 @@
+"""Content-addressed store for expensive pipeline artefacts.
+
+The staged NeRFlex pipeline produces two artefact kinds that are pure
+functions of their inputs and far more expensive than a render: fitted
+profile curves (:class:`repro.core.profiler.ObjectProfile`, one bake+score
+sweep per sub-scene) and baked sub-models.  Neither depends on the *device*,
+only on the scene content and the preparation knobs — so benchmarks that
+sweep devices and selectors, and repeated ``prepare()`` calls on the same
+dataset, can reuse them instead of recomputing.
+
+Keys are content-addressed tuples assembled by the caller: a kind tag first
+(``"profile"``, ``"baked"``), then every input that determines the artefact
+— content fingerprints from :func:`repro.render.engine._content_identity`,
+configuration knobs, seeds, size constants.  The store itself is agnostic:
+it maps hashable keys to values under an optional LRU bound, thread-safely
+(the thread backend may fan artefact-producing stages out concurrently).
+
+The render cache (:mod:`repro.render.cache`) stays separate: it memoises
+*images* under ``(scene, camera, quality)`` keys, while this store memoises
+the *models* those images are rendered from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.lru import MISS, LockedLRU
+
+
+@dataclass
+class ArtifactStats:
+    """Hit/miss accounting of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def reuse_count(self) -> int:
+        """Number of artefacts served from the store instead of recomputed."""
+        return self.hits
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ArtifactStore:
+    """A thread-safe, optionally bounded map from content keys to artefacts.
+
+    The map itself is a :class:`repro.utils.lru.LockedLRU` (shared with the
+    render cache); this class layers artefact-level accounting on top —
+    overall hit/miss/put statistics plus hit counts grouped by each key's
+    leading kind tag (``"profile"`` / ``"baked"``), which is what the
+    benchmark suite's reuse assertions read.
+
+    Args:
+        max_entries: optional LRU bound on the number of stored artefacts;
+            ``None`` means unbounded (a benchmark session stores a few dozen
+            profiles and baked models).
+    """
+
+    max_entries: "int | None" = None
+    stats: ArtifactStats = field(default_factory=ArtifactStats)
+
+    def __post_init__(self) -> None:
+        self._lru = LockedLRU(max_entries=self.max_entries)
+        self._kind_hits: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key) -> bool:
+        return key in self._lru
+
+    def get(self, key):
+        """Stored artefact for ``key`` (``None`` on miss); updates statistics."""
+        with self._lru.lock:
+            value = self._lru.get(key)
+            if value is MISS:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            if isinstance(key, tuple) and key:
+                self._kind_hits[key[0]] = self._kind_hits.get(key[0], 0) + 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lru.lock:
+            self.stats.puts += 1
+            if self._lru.put(key, value):
+                self.stats.evictions += 1
+
+    def get_or_create(self, key, build_fn):
+        """Return the artefact for ``key``, building and storing it on a miss.
+
+        ``build_fn`` runs outside the lock (it may be minutes of baking);
+        should two threads race on the same key, both build and the last
+        write wins — wasteful but consistent, since keys are
+        content-addressed and builds are deterministic.
+        """
+        value = self.get(key)
+        if value is None:
+            value = build_fn()
+            self.put(key, value)
+        return value
+
+    def reuse_by_kind(self) -> dict:
+        """Hit counts grouped by the key's leading kind tag."""
+        with self._lru.lock:
+            return dict(self._kind_hits)
+
+    def invalidate(self, kind=None) -> int:
+        """Drop every artefact (or only those whose kind tag matches)."""
+        if kind is None:
+            return self._lru.clear()
+        return self._lru.remove_where(
+            lambda key: isinstance(key, tuple) and bool(key) and key[0] == kind
+        )

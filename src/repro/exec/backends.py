@@ -1,0 +1,243 @@
+"""Pluggable execution backends for the library's bulk workloads.
+
+Every embarrassingly parallel workload in the reproduction — ray chunks in
+:class:`repro.render.RenderEngine`, profiler measurements, per-object bake
+geometry, baseline evaluation — is expressed as an ordered ``map(fn, items)``
+and routed through one of three interchangeable backends:
+
+* :class:`SerialBackend` — a plain in-process loop; the bit-identical
+  reference every other backend is pinned against.
+* :class:`ThreadBackend` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  fan-out (the engine's historical ``workers`` knob).  Threads share memory,
+  so tasks may mutate caller state, but the Python-heavy marcher loops are
+  GIL-bound and only numpy-releasing sections overlap.
+* :class:`ProcessBackend` — a ``fork``-based process pool that sidesteps the
+  GIL entirely.  Workers inherit the parent's memory image, so the task
+  callable and its items are **never pickled** (closures over scenes, SDF
+  lambdas and lazy textures all work); only each task's *return value*
+  crosses the process boundary, as pickled arrays.  Task side effects
+  (cache writes) stay in the worker and are re-applied by the caller from
+  the returned values.
+
+Backends are selected by name — ``PipelineConfig.backend``, the
+``REPRO_BACKEND`` environment variable, or :func:`resolve_backend` directly.
+All three produce bit-identical results for the workloads they run (pinned
+in ``tests/test_exec_backends.py``): tasks are pure functions of their item
+and results are assembled in item order.  Every task currently shipped is
+fully deterministic; should a future workload need randomness, it must
+derive its stream from :func:`shard_rng` — a pure function of
+``(seed, shard_index)`` — so the draw never depends on which worker (or in
+which order) a shard executes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+#: Environment variable that overrides the default backend selection.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Backend used when neither the caller nor the environment picks one.  The
+#: thread backend with one worker degenerates to the serial loop, so the
+#: default is behaviour-preserving.
+DEFAULT_BACKEND_NAME = "thread"
+
+
+def shard_rng(seed: "int | None", shard_index: int) -> np.random.Generator:
+    """Deterministic, order-independent generator for one shard of work.
+
+    Unlike :func:`repro.utils.rng.derive_rng` (which draws entropy from the
+    parent generator and therefore depends on call order), the shard stream
+    is a pure function of ``(seed, shard_index)``.  Two backends that
+    execute shards in different orders — or on different workers — therefore
+    draw identical numbers per shard, which is what keeps randomised
+    workloads bit-identical across backends.
+    """
+    sequence = np.random.SeedSequence(
+        [0 if seed is None else int(seed), int(shard_index)]
+    )
+    return np.random.default_rng(sequence)
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def in_worker_process() -> bool:
+    """Whether the current process is a pool worker (workers must not fork)."""
+    process = multiprocessing.current_process()
+    return bool(process.daemon) or process.name != "MainProcess"
+
+
+class Backend:
+    """Ordered-map execution backend.
+
+    ``map(fn, items)`` returns ``[fn(item) for item in items]`` — same
+    length, same order, computed with the backend's execution strategy.
+    When ``timer`` and ``stage`` are provided, the wall-clock time spent
+    *inside the tasks* (summed across workers) is attributed to the stage
+    via :meth:`repro.utils.timing.StageTimer.add_worker`, so multi-process
+    runs do not silently drop worker-side time from the overhead analysis.
+    """
+
+    name = "base"
+    workers = 1
+
+    def map(self, fn, items, timer=None, stage=None) -> list:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers})"
+
+
+def _timed(fn, item) -> tuple:
+    start = time.perf_counter()
+    result = fn(item)
+    return time.perf_counter() - start, result
+
+
+def _credit(timer, stage, pairs) -> list:
+    """Record summed task seconds on the timer; return the bare results."""
+    if timer is not None and stage is not None:
+        timer.add_worker(stage, float(sum(elapsed for elapsed, _ in pairs)))
+    return [result for _, result in pairs]
+
+
+class SerialBackend(Backend):
+    """The in-process reference backend: a plain ordered loop."""
+
+    name = "serial"
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        self.workers = 1
+
+    def map(self, fn, items, timer=None, stage=None) -> list:
+        items = list(items)
+        if timer is None or stage is None:
+            return [fn(item) for item in items]
+        return _credit(timer, stage, [_timed(fn, item) for item in items])
+
+
+class ThreadBackend(Backend):
+    """Thread-pool fan-out (shared memory, GIL-bound for pure-Python tasks)."""
+
+    name = "thread"
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        self.workers = max(int(workers) if workers is not None else 1, 1)
+
+    def map(self, fn, items, timer=None, stage=None) -> list:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return SerialBackend().map(fn, items, timer=timer, stage=stage)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            if timer is None or stage is None:
+                return list(pool.map(fn, items))
+            pairs = list(pool.map(lambda item: _timed(fn, item), items))
+        return _credit(timer, stage, pairs)
+
+
+#: Task state inherited by forked workers (set immediately before the fork).
+#: Because workers are forked *after* these are assigned, the callable and
+#: its items travel by memory image, never through pickle.  ``_FORK_LOCK``
+#: serialises whole ``map`` calls: two threads mapping concurrently would
+#: otherwise overwrite each other's task state, and the globals must stay
+#: valid for the pool's entire lifetime (a pool that replaces a dead worker
+#: re-forks mid-map and must still see this map's task state).
+_TASK_FN = None
+_TASK_ITEMS: "list | None" = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_forked_task(index: int) -> tuple:
+    """Execute one inherited task in a forked worker; time it locally."""
+    start = time.perf_counter()
+    result = _TASK_FN(_TASK_ITEMS[index])
+    return time.perf_counter() - start, result
+
+
+class ProcessBackend(Backend):
+    """Fork-based process pool: true multi-core execution of Python tasks.
+
+    Sharding contract: tasks must be pure functions of their item (caller
+    state mutated inside a worker is lost — callers re-apply side effects
+    from the returned values), return values must pickle, and any
+    randomness must come from :func:`shard_rng` keyed by the item index.
+
+    Falls back to the serial loop when the platform lacks ``fork`` (the
+    callable/item inheritance trick requires it), when called from inside a
+    pool worker (daemonic workers cannot fork children), or when the
+    workload is too small to amortise a pool.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: "int | None" = None) -> None:
+        default = os.cpu_count() or 1
+        self.workers = max(int(workers) if workers is not None else default, 1)
+
+    def map(self, fn, items, timer=None, stage=None) -> list:
+        global _TASK_FN, _TASK_ITEMS
+        items = list(items)
+        if (
+            self.workers <= 1
+            or len(items) <= 1
+            or not fork_available()
+            or in_worker_process()
+        ):
+            return SerialBackend().map(fn, items, timer=timer, stage=stage)
+        # Serialise concurrent fork maps end to end: the inherited globals
+        # must stay stable for the pool's whole lifetime (worker re-forks
+        # included), so a second thread's map waits for the first to finish
+        # rather than interleaving pools.  Parallelism comes from the
+        # workers inside one map, not from overlapping maps.
+        with _FORK_LOCK:
+            _TASK_FN, _TASK_ITEMS = fn, items
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(self.workers, len(items))) as pool:
+                    pairs = pool.map(_run_forked_task, range(len(items)), chunksize=1)
+            finally:
+                _TASK_FN, _TASK_ITEMS = None, None
+        return _credit(timer, stage, pairs)
+
+
+#: Registry of selectable backends, keyed by the names accepted from
+#: ``PipelineConfig.backend`` and the ``REPRO_BACKEND`` environment variable.
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def resolve_backend(backend=None, workers: "int | None" = None) -> Backend:
+    """Resolve a backend instance from a name, an instance, or the environment.
+
+    Args:
+        backend: a :class:`Backend` instance (returned unchanged), a backend
+            name from :data:`BACKENDS`, or ``None`` to consult the
+            ``REPRO_BACKEND`` environment variable and fall back to the
+            behaviour-preserving default (``thread``).
+        workers: worker count; ``None`` uses the backend's own default
+            (1 for serial/thread — today's inline behaviour — and the host
+            CPU count for the process pool).
+    """
+    if isinstance(backend, Backend):
+        return backend
+    name = backend
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND_NAME
+    name = str(name).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}"
+        )
+    return BACKENDS[name](workers=workers)

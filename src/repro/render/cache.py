@@ -23,8 +23,9 @@ stale images unless the caller reuses a key.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
+
+from repro.utils.lru import MISS, LockedLRU
 
 
 def camera_cache_key(camera) -> tuple:
@@ -73,21 +74,28 @@ class RenderCache:
             least recently used entry is evicted beyond it.  ``None`` means
             unbounded (the benchmark harness caches a few hundred small
             images, far below any memory concern).
+
+    All operations are thread-safe (the map is a
+    :class:`repro.utils.lru.LockedLRU`): the thread execution backend fans
+    independent render batches out concurrently, and every one of them reads
+    and writes the shared process-wide cache.  ``get``/``put`` hold the
+    internal lock; ``get_or_render`` deliberately releases it around the
+    render callback (holding a lock for seconds of marching would serialise
+    the backend), so two threads racing on the same key may both render —
+    wasteful but consistent, as keyed renders are deterministic.
     """
 
     max_entries: "int | None" = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
-        if self.max_entries is not None and self.max_entries < 1:
-            raise ValueError("max_entries must be positive (or None)")
-        self._store: OrderedDict = OrderedDict()
+        self._lru = LockedLRU(max_entries=self.max_entries)
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._lru)
 
     def __contains__(self, key) -> bool:
-        return key in self._store
+        return key in self._lru
 
     @staticmethod
     def make_key(scene_key, camera, quality_key) -> tuple:
@@ -96,19 +104,18 @@ class RenderCache:
 
     def get(self, key):
         """Cached value for ``key`` (``None`` on miss); updates statistics."""
-        if key in self._store:
-            self._store.move_to_end(key)
+        with self._lru.lock:
+            value = self._lru.get(key)
+            if value is MISS:
+                self.stats.misses += 1
+                return None
             self.stats.hits += 1
-            return self._store[key]
-        self.stats.misses += 1
-        return None
+            return value
 
     def put(self, key, value) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        if self.max_entries is not None and len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lru.lock:
+            if self._lru.put(key, value):
+                self.stats.evictions += 1
 
     def get_or_render(self, key, render_fn):
         """Return the cached value for ``key``, rendering it on a miss."""
@@ -121,10 +128,5 @@ class RenderCache:
     def invalidate(self, scene_key=None) -> int:
         """Drop every entry (or only those whose scene part equals ``scene_key``)."""
         if scene_key is None:
-            dropped = len(self._store)
-            self._store.clear()
-            return dropped
-        doomed = [key for key in self._store if key[0] == scene_key]
-        for key in doomed:
-            del self._store[key]
-        return len(doomed)
+            return self._lru.clear()
+        return self._lru.remove_where(lambda key: key[0] == scene_key)

@@ -16,10 +16,12 @@ batched API:
   are thin shading passes over it;
 * **a persistent render cache** — results are memoised under
   ``(scene, camera, quality)`` keys (see :mod:`repro.render.cache`);
-* **chunk-size / worker knobs** — ``chunk_rays`` bounds peak memory of the
-  sample-heavy paths and ``workers`` optionally fans independent ray chunks
-  out to a thread pool (chunks write disjoint rows, so the output is
-  identical for any worker count).
+* **chunk-size / backend knobs** — ``chunk_rays`` bounds peak memory of the
+  sample-heavy paths, and independent ray chunks are fanned out through a
+  pluggable execution backend (:mod:`repro.exec.backends`): serial loop,
+  thread pool (the historical ``workers`` knob) or a fork-based process
+  pool.  Chunks are pure functions of disjoint ray ranges and results are
+  assembled in chunk order, so every backend produces bit-identical images.
 
 The legacy module-level functions (``render_scene``, ``render_field``,
 ``volume_render_field``, ``render_baked_multi``) remain as thin wrappers
@@ -28,11 +30,10 @@ over a shared default engine, so downstream callers keep working unchanged.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
 from repro.baking.meshing import _TANGENT_AXES
+from repro.exec.backends import Backend, resolve_backend
 from repro.nerf.sampling import stratified_samples
 from repro.render.cache import RenderCache
 from repro.scenes.cameras import Camera, camera_rays
@@ -178,6 +179,34 @@ def _ray_aabb(origins, directions, lo, hi):
     return t_near, t_far
 
 
+def _sphere_trace_chunk(
+    sdf_fn,
+    origins: np.ndarray,
+    directions: np.ndarray,
+    limits: np.ndarray,
+    max_steps: int,
+    hit_epsilon: float,
+) -> tuple:
+    """The active-set sphere-tracing loop over one chunk of rays."""
+    num_rays = origins.shape[0]
+    t_values = np.zeros(num_rays)
+    hit = np.zeros(num_rays, dtype=bool)
+    alive = np.arange(num_rays)
+    for _ in range(max_steps):
+        if alive.size == 0:
+            break
+        points = origins[alive] + t_values[alive, None] * directions[alive]
+        distances = sdf_fn(points)
+        newly_hit = distances < hit_epsilon
+        hit[alive[newly_hit]] = True
+        advancing = ~newly_hit
+        advancing_ids = alive[advancing]
+        t_values[advancing_ids] += np.maximum(distances[advancing], hit_epsilon)
+        escaped = t_values[advancing_ids] > limits[advancing_ids]
+        alive = advancing_ids[~escaped]
+    return t_values, hit
+
+
 def _face_keys(model) -> tuple:
     """Sorted integer keys for (voxel, axis, sign) face lookup."""
     g = model.grid.resolution
@@ -192,39 +221,53 @@ class RenderEngine:
     """Batched, cached renderer for every representation in the library.
 
     Args:
-        chunk_rays: rays marched per chunk in the volume and baked paths
+        chunk_rays: rays marched per chunk in the sample-heavy paths
             (bounds peak memory; the rendered output is chunk-invariant).
-        workers: number of threads that process independent ray chunks
-            concurrently (1 = serial).  Chunks write disjoint output rows,
-            so any worker count produces identical images.
+        workers: worker count handed to the execution backend when one is
+            resolved by name; ``None`` (the default) means the backend's own
+            default — 1 (today's inline loop) for serial/thread, the host
+            CPU count for the process pool — while an explicit count is
+            always honoured (``workers=1`` forces even a process backend
+            down to one worker).  Retained for backward compatibility —
+            ``RenderEngine(workers=3)`` still means a 3-thread fan-out
+            unless a different backend is selected.
         cache: optional :class:`RenderCache`; when present, the camera-level
             methods memoise results for callers that supply a ``scene_key``.
+        backend: execution backend for independent ray chunks — a
+            :class:`repro.exec.backends.Backend` instance, a backend name
+            (``"serial"`` / ``"thread"`` / ``"process"``), or ``None`` to
+            consult the ``REPRO_BACKEND`` environment variable.  Chunks are
+            pure and assembled in order, so every backend renders
+            bit-identical images.
     """
 
     def __init__(
         self,
         chunk_rays: int = DEFAULT_CHUNK_RAYS,
-        workers: int = 1,
+        workers: "int | None" = None,
         cache: "RenderCache | None" = None,
+        backend: "Backend | str | None" = None,
     ) -> None:
         if chunk_rays < 1:
             raise ValueError("chunk_rays must be positive")
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise ValueError("workers must be positive")
         self.chunk_rays = int(chunk_rays)
-        self.workers = int(workers)
+        self.workers = 1 if workers is None else int(workers)
         self.cache = cache
+        self.backend = resolve_backend(backend, workers=workers)
 
     # -- shared machinery ----------------------------------------------------
 
-    def _run_chunks(self, process, starts) -> None:
-        """Run ``process(start)`` for every chunk start, possibly threaded."""
-        if self.workers <= 1 or len(starts) <= 1:
-            for start in starts:
-                process(start)
-            return
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            list(pool.map(process, starts))
+    def _map_chunks(self, process, starts) -> list:
+        """Map ``process`` over chunk starts via the execution backend.
+
+        ``process(start)`` must be a pure function of its chunk (no writes
+        to shared state — with the process backend they would be lost in the
+        worker); results come back in chunk order for deterministic
+        assembly.
+        """
+        return self.backend.map(process, list(starts))
 
     def _cached_views(self, cameras, scene_key, quality_key, render_batch):
         """Memoise per-camera results, rendering the misses in one batch.
@@ -270,22 +313,32 @@ class RenderEngine:
         limits = np.broadcast_to(
             np.asarray(max_distance, dtype=np.float64), (num_rays,)
         )
-        t_values = np.zeros(num_rays)
-        hit = np.zeros(num_rays, dtype=bool)
-        alive = np.arange(num_rays)
-        for _ in range(max_steps):
-            if alive.size == 0:
-                break
-            points = origins[alive] + t_values[alive, None] * directions[alive]
-            distances = sdf_fn(points)
-            newly_hit = distances < hit_epsilon
-            hit[alive[newly_hit]] = True
-            advancing = ~newly_hit
-            advancing_ids = alive[advancing]
-            t_values[advancing_ids] += np.maximum(distances[advancing], hit_epsilon)
-            escaped = t_values[advancing_ids] > limits[advancing_ids]
-            alive = advancing_ids[~escaped]
-        return t_values, hit
+        starts = list(range(0, num_rays, self.chunk_rays))
+        if len(starts) <= 1:
+            return _sphere_trace_chunk(
+                sdf_fn, origins, directions, limits, max_steps, hit_epsilon
+            )
+
+        # Each ray's march is independent, so splitting the batch into
+        # chunks and re-concatenating is bit-identical to one global
+        # active-set loop — which makes the tracer shardable across the
+        # execution backend.
+        def process(start):
+            stop = min(start + self.chunk_rays, num_rays)
+            return _sphere_trace_chunk(
+                sdf_fn,
+                origins[start:stop],
+                directions[start:stop],
+                limits[start:stop],
+                max_steps,
+                hit_epsilon,
+            )
+
+        parts = self._map_chunks(process, starts)
+        return (
+            np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+        )
 
     # -- ground-truth scenes -------------------------------------------------
 
@@ -515,6 +568,9 @@ class RenderEngine:
             from repro.nerf.rendering import _sdf_to_density, composite_samples
 
             def process(start):
+                # Pure chunk function: reads the stacked ray buffers, returns
+                # this chunk's rows — no writes to shared state, so the chunk
+                # can run in a forked worker and ship its rows back pickled.
                 stop = min(start + self.chunk_rays, num_rays)
                 count = stop - start
                 t_values = stratified_samples(
@@ -547,11 +603,21 @@ class RenderEngine:
                     ] * (directions[start:stop][hit_rows])
                     radiance = field_radiance(field, surface_points)
                     mix = ray_alpha[hit_rows, None]
-                    rgb[start + hit_rows] = mix * radiance + (1.0 - mix) * bg
-                    depth[start + hit_rows] = ray_depth[hit_rows]
-                alpha[start:stop] = ray_alpha
+                    chunk_rgb = mix * radiance + (1.0 - mix) * bg
+                    chunk_depth = ray_depth[hit_rows]
+                else:
+                    chunk_rgb = np.zeros((0, 3))
+                    chunk_depth = np.zeros(0)
+                return start, ray_alpha, hit_rows, chunk_rgb, chunk_depth
 
-            self._run_chunks(process, list(range(0, num_rays, self.chunk_rays)))
+            chunk_results = self._map_chunks(
+                process, range(0, num_rays, self.chunk_rays)
+            )
+            for start, ray_alpha, hit_rows, chunk_rgb, chunk_depth in chunk_results:
+                alpha[start : start + ray_alpha.shape[0]] = ray_alpha
+                if hit_rows.size:
+                    rgb[start + hit_rows] = chunk_rgb
+                    depth[start + hit_rows] = chunk_depth
 
             hit = alpha > 0.5
             buffers = {
@@ -604,6 +670,9 @@ class RenderEngine:
         slab_steps = 32  # samples examined per marching round
 
         def process(start):
+            # Pure chunk function (see volume path): returns the chunk's hit
+            # rows instead of writing shared buffers, so it can execute on
+            # any backend.
             ray_ids = candidates[start : start + self.chunk_rays]
             ray_origins = origins[ray_ids]
             ray_dirs = directions[ray_ids]
@@ -648,7 +717,7 @@ class RenderEngine:
                 active = active[~finished]
 
             if not hit_rows_parts:
-                return
+                return None
             hit_rows = np.concatenate(hit_rows_parts)
             hit_voxels = np.concatenate(hit_voxels_parts, axis=0)
             order = np.argsort(hit_rows, kind="stable")
@@ -694,12 +763,18 @@ class RenderEngine:
             v = np.clip(local[rows, tangent_v], 0.0, 1.0)
 
             sampled = model.texture.sample(face_indices, u, v)
-            global_rows = ray_ids[hit_rows]
+            return ray_ids[hit_rows], sampled, t_entry
+
+        chunk_results = self._map_chunks(
+            process, range(0, candidates.size, self.chunk_rays)
+        )
+        for result in chunk_results:
+            if result is None:
+                continue
+            global_rows, sampled, t_entry = result
             colors[global_rows] = sampled
             depths[global_rows] = t_entry
             hits[global_rows] = True
-
-        self._run_chunks(process, list(range(0, candidates.size, self.chunk_rays)))
         return colors, depths, hits
 
     def render_baked_rays(

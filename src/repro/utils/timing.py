@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -9,6 +10,10 @@ from dataclasses import dataclass, field
 @dataclass
 class Timer:
     """A simple start/stop wall-clock timer usable as a context manager.
+
+    Re-entrancy errors are explicit: ``start()`` on a running timer and
+    ``stop()`` on a stopped one both raise :class:`RuntimeError` instead of
+    silently corrupting the accumulated time.
 
     Example:
         >>> with Timer() as t:
@@ -20,7 +25,16 @@ class Timer:
     elapsed: float = 0.0
     _start: float | None = None
 
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
     def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer.start() called while already running; stop() it first "
+                "(a Timer instance is not re-entrant — use one per scope)"
+            )
         self._start = time.perf_counter()
         return self
 
@@ -45,29 +59,71 @@ class StageTimer:
     The NeRFlex overhead analysis (Fig. 9) reports the split between the
     segmentation module, the performance profiler and the configuration
     solver; :class:`StageTimer` is how the pipeline collects that split.
+
+    Two accountings are kept per stage:
+
+    * ``stages`` — wall-clock time of the stage as observed by the caller
+      (the ``with timer.time(name)`` window).  This is what
+      :meth:`as_dict` / :meth:`fractions` report, matching the paper's
+      single-machine overhead numbers.
+    * ``worker_stages`` — CPU-side task time reported by execution backends
+      (:meth:`add_worker`), summed across workers.  With a process pool the
+      work happens outside this process, so without this channel it would be
+      invisible to any per-stage attribution; with in-process execution it
+      roughly mirrors the wall clock.  Exposed via :meth:`worker_as_dict`
+      and kept out of the wall-clock totals so the two are never conflated.
+
+    All mutation is lock-protected: thread backends may attribute worker
+    time to the same stage concurrently.
     """
 
     stages: dict = field(default_factory=dict)
+    worker_stages: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
 
     def time(self, name: str) -> "_StageContext":
         """Return a context manager that adds its elapsed time to ``name``."""
         return _StageContext(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+        with self._lock:
+            self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    def add_worker(self, name: str, seconds: float) -> None:
+        """Attribute backend worker-side task time to the owning stage."""
+        with self._lock:
+            self.worker_stages[name] = self.worker_stages.get(name, 0.0) + float(
+                seconds
+            )
 
     def total(self) -> float:
-        return float(sum(self.stages.values()))
+        with self._lock:
+            return float(sum(self.stages.values()))
 
     def fractions(self) -> dict:
         """Return each stage's share of the total (empty dict if no time)."""
         total = self.total()
         if total <= 0.0:
             return {}
-        return {name: value / total for name, value in self.stages.items()}
+        with self._lock:
+            return {name: value / total for name, value in self.stages.items()}
 
     def as_dict(self) -> dict:
-        return dict(self.stages)
+        with self._lock:
+            return dict(self.stages)
+
+    def worker_as_dict(self) -> dict:
+        with self._lock:
+            return dict(self.worker_stages)
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's stage and worker accounting into this one."""
+        for name, seconds in other.as_dict().items():
+            self.add(name, seconds)
+        for name, seconds in other.worker_as_dict().items():
+            self.add_worker(name, seconds)
 
 
 class _StageContext:

@@ -1,0 +1,477 @@
+"""Tests for the execution layer: backends, parity, artifacts, timing.
+
+The load-bearing property is backend parity: the serial loop is the
+reference, and the thread and process backends must produce bit-identical
+results for every workload they run — render chunks, profiler measurements,
+bake geometry.  The process backend additionally pins its fork-inheritance
+contract (closures never pickle; only results do) and its fallbacks.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NeRFlexPipeline, PipelineConfig
+from repro.core.config_space import ConfigurationSpace
+from repro.device.models import DeviceProfile
+from repro.exec import (
+    ArtifactStore,
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    fork_available,
+    resolve_backend,
+    shard_rng,
+)
+from repro.nerf.degradation import DegradedField
+from repro.render import RenderEngine
+from repro.scenes.cameras import orbit_cameras
+from repro.utils.timing import StageTimer, Timer
+
+ALL_BACKENDS = [SerialBackend(), ThreadBackend(workers=3), ProcessBackend(workers=2)]
+
+
+def backend_id(backend):
+    return backend.name
+
+
+# ---------------------------------------------------------------------------
+# Backend.map semantics
+# ---------------------------------------------------------------------------
+
+
+class TestBackendMap:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=backend_id)
+    def test_map_preserves_order_and_length(self, backend):
+        items = list(range(23))
+        assert backend.map(lambda x: x * x, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=backend_id)
+    def test_map_empty(self, backend):
+        assert backend.map(lambda x: x, []) == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=backend_id)
+    def test_map_with_closure_over_arrays(self, backend):
+        """Task callables may close over arbitrary unpicklable state."""
+        weights = np.arange(10, dtype=np.float64)
+        unpicklable = lambda x: float(weights[x] * 2)  # noqa: E731
+        assert backend.map(unpicklable, [1, 4, 9]) == [2.0, 8.0, 18.0]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=backend_id)
+    def test_worker_time_attributed_to_stage(self, backend):
+        timer = StageTimer()
+        backend.map(lambda x: sum(range(2000)), list(range(6)), timer=timer, stage="work")
+        worker = timer.worker_as_dict()
+        assert "work" in worker and worker["work"] > 0.0
+        # Worker-side time is kept out of the wall-clock stage totals.
+        assert timer.as_dict() == {}
+
+    def test_process_backend_single_item_falls_back_to_serial(self):
+        backend = ProcessBackend(workers=4)
+        state = {"touched": False}
+
+        def task(x):
+            state["touched"] = True  # side effect visible only in-process
+            return x
+
+        assert backend.map(task, [7]) == [7]
+        assert state["touched"]  # ran serially in this process
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_process_backend_concurrent_maps_from_threads(self):
+        """Two threads mapping at once must each get their own results.
+
+        The fork handoff stashes the task in module globals; without the
+        fork lock, one thread's pool could inherit the other's task state.
+        """
+        import threading
+
+        backend = ProcessBackend(workers=2)
+        results = {}
+
+        def run(tag, offset):
+            results[tag] = backend.map(lambda x: x + offset, [1, 2, 3])
+
+        threads = [
+            threading.Thread(target=run, args=("a", 100)),
+            threading.Thread(target=run, args=("b", 200)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["a"] == [101, 102, 103]
+        assert results["b"] == [201, 202, 203]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_process_backend_isolates_side_effects(self):
+        backend = ProcessBackend(workers=2)
+        state = {"count": 0}
+
+        def task(x):
+            state["count"] += 1  # dies with the worker
+            return x + 1
+
+        assert backend.map(task, [1, 2, 3, 4]) == [2, 3, 4, 5]
+        assert state["count"] == 0
+
+    def test_resolve_by_name(self):
+        assert resolve_backend("serial").name == "serial"
+        assert resolve_backend("thread", workers=5).workers == 5
+        assert resolve_backend("process", workers=3).workers == 3
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+
+    def test_explicit_single_worker_is_honoured(self):
+        # workers=1 is a real request (bounds even the process pool to one
+        # worker), distinct from workers=None (the backend's own default).
+        assert resolve_backend("process", workers=1).workers == 1
+        engine = RenderEngine(workers=1, backend="process")
+        assert engine.backend.workers == 1
+
+    def test_resolve_instance_passthrough(self):
+        backend = ThreadBackend(workers=2)
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+    def test_resolve_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert resolve_backend(None).name == "serial"
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert resolve_backend(None).name == "process"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_backend(None).name == "thread"
+
+    def test_default_thread_backend_is_inline(self):
+        # The default resolution must preserve legacy single-worker
+        # behaviour: thread backend with one worker.
+        backend = resolve_backend(None) if "REPRO_BACKEND" not in os.environ else None
+        if backend is not None:
+            assert backend.name == "thread" and backend.workers == 1
+
+
+class TestShardRng:
+    def test_deterministic_per_shard(self):
+        a = shard_rng(7, 3).integers(0, 10**6, 5)
+        b = shard_rng(7, 3).integers(0, 10**6, 5)
+        assert np.array_equal(a, b)
+
+    def test_independent_across_shards_and_seeds(self):
+        draws = {
+            (seed, shard): tuple(shard_rng(seed, shard).integers(0, 10**6, 4))
+            for seed in (0, 1)
+            for shard in (0, 1, 2)
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_none_seed_matches_zero(self):
+        assert np.array_equal(
+            shard_rng(None, 2).integers(0, 100, 3), shard_rng(0, 2).integers(0, 100, 3)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Render parity across backends
+# ---------------------------------------------------------------------------
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.rgb, b.rgb)
+    assert np.array_equal(a.hit_mask, b.hit_mask)
+    assert np.array_equal(a.object_ids, b.object_ids)
+    finite = np.isfinite(a.depth)
+    assert np.array_equal(finite, np.isfinite(b.depth))
+    assert np.array_equal(a.depth[finite], b.depth[finite])
+
+
+class TestRenderParity:
+    """Thread and process backends render bit-identically to serial."""
+
+    @pytest.fixture(scope="class")
+    def cameras(self, two_object_scene):
+        return orbit_cameras(
+            two_object_scene.center,
+            radius=1.3 * two_object_scene.extent,
+            count=2,
+            width=36,
+            height=36,
+        )
+
+    @pytest.fixture(scope="class")
+    def reference_engine(self):
+        # Tiny chunks force many shards so the parallel paths really shard.
+        return RenderEngine(chunk_rays=193, backend=SerialBackend())
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS[1:], ids=backend_id)
+    def test_scene_parity(self, two_object_scene, cameras, reference_engine, backend):
+        engine = RenderEngine(chunk_rays=193, backend=backend)
+        for camera in cameras:
+            assert_results_identical(
+                reference_engine.render_scene(two_object_scene, camera),
+                engine.render_scene(two_object_scene, camera),
+            )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS[1:], ids=backend_id)
+    def test_field_parity(self, two_object_scene, cameras, reference_engine, backend):
+        field = DegradedField(two_object_scene, 0.02, seed=0)
+        engine = RenderEngine(chunk_rays=193, backend=backend)
+        assert_results_identical(
+            reference_engine.render_field(field, cameras[0]),
+            engine.render_field(field, cameras[0]),
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS[1:], ids=backend_id)
+    def test_volume_parity(self, two_object_scene, cameras, reference_engine, backend):
+        engine = RenderEngine(chunk_rays=193, backend=backend)
+        assert_results_identical(
+            reference_engine.volume_render_field(
+                two_object_scene, cameras[0], num_samples=24
+            ),
+            engine.volume_render_field(two_object_scene, cameras[0], num_samples=24),
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS[1:], ids=backend_id)
+    def test_baked_parity(self, two_object_scene, cameras, reference_engine, backend):
+        from repro.baking.baked_model import BakedMultiModel, bake_field
+
+        baked = BakedMultiModel(
+            [
+                bake_field(placed, 12, 2, name=placed.instance_name)
+                for placed in two_object_scene.placed
+            ]
+        )
+        engine = RenderEngine(chunk_rays=193, backend=backend)
+        for camera in cameras:
+            assert_results_identical(
+                reference_engine.render_baked(baked, camera),
+                engine.render_baked(baked, camera),
+            )
+
+    def test_engine_accepts_backend_names(self):
+        assert RenderEngine(backend="serial").backend.name == "serial"
+        assert RenderEngine(backend="process").backend.name == "process"
+        # Legacy workers knob still selects a thread fan-out by default.
+        engine = RenderEngine(workers=3)
+        if "REPRO_BACKEND" not in os.environ:
+            assert engine.backend.name == "thread"
+            assert engine.backend.workers == 3
+
+
+# ---------------------------------------------------------------------------
+# Pipeline parity and artifact reuse
+# ---------------------------------------------------------------------------
+
+TINY_DEVICE = DeviceProfile(
+    name="TinyPhone", memory_budget_mb=60.0, hard_memory_limit_mb=80.0, compute_score=4.0
+)
+
+
+def tiny_pipeline_config(backend_name):
+    return PipelineConfig(
+        config_space=ConfigurationSpace(granularities=(8, 12, 16), patch_sizes=(1, 2)),
+        profile_resolution=48,
+        object_eval_resolution=48,
+        num_eval_views=1,
+        num_fps_frames=64,
+        backend=backend_name,
+    )
+
+
+class TestPipelineBackendParity:
+    @pytest.fixture(scope="class")
+    def serial_run(self, small_dataset):
+        pipeline = NeRFlexPipeline(TINY_DEVICE, tiny_pipeline_config("serial"))
+        return pipeline.run(small_dataset)
+
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    def test_run_matches_serial(self, small_dataset, serial_run, backend_name):
+        config = tiny_pipeline_config(backend_name)
+        if backend_name == "thread":
+            config.render_workers = 3
+        pipeline = NeRFlexPipeline(
+            TINY_DEVICE,
+            config,
+            backend=ProcessBackend(workers=2) if backend_name == "process" else None,
+        )
+        preparation, multi_model, report = pipeline.run(small_dataset)
+        ref_preparation, ref_model, ref_report = serial_run
+        assert preparation.selection.assignments == ref_preparation.selection.assignments
+        assert multi_model.size_mb() == pytest.approx(ref_model.size_mb(), abs=0.0)
+        assert report.ssim == ref_report.ssim
+        assert report.psnr == ref_report.psnr
+        assert report.backend_name == backend_name
+
+    def test_report_records_stage_and_worker_timings(self, small_dataset, serial_run):
+        _, _, report = serial_run
+        assert {"segmentation", "profiler", "solver"} == set(report.overhead_seconds)
+        assert {"bake", "deploy"} <= set(report.stage_seconds)
+        # Profiler measurements ran through the backend, so worker-side time
+        # was attributed to the owning stage instead of being dropped.
+        assert report.worker_seconds.get("profiler", 0.0) > 0.0
+
+
+class TestPipelineArtifacts:
+    def test_profiles_and_bakes_reused_across_devices(self, small_dataset):
+        store = ArtifactStore()
+        first = NeRFlexPipeline(
+            TINY_DEVICE, tiny_pipeline_config("serial"), artifacts=store
+        )
+        preparation, _, _ = first.run(small_dataset)
+        num_sub_scenes = len(preparation.segmentation.sub_scenes)
+        hits_before = store.stats.hits
+
+        bigger = DeviceProfile(
+            name="BigPhone",
+            memory_budget_mb=300.0,
+            hard_memory_limit_mb=400.0,
+            compute_score=8.0,
+        )
+        second = NeRFlexPipeline(
+            bigger, tiny_pipeline_config("serial"), artifacts=store
+        )
+        second.prepare(small_dataset)
+        assert store.stats.hits - hits_before >= num_sub_scenes
+        assert store.reuse_by_kind().get("profile", 0) >= num_sub_scenes
+
+    def test_repeated_run_reuses_baked_models(self, small_dataset):
+        store = ArtifactStore()
+        config = tiny_pipeline_config("serial")
+        NeRFlexPipeline(TINY_DEVICE, config, artifacts=store).run(small_dataset)
+        baked_before = store.reuse_by_kind().get("baked", 0)
+        NeRFlexPipeline(TINY_DEVICE, config, artifacts=store).run(small_dataset)
+        assert store.reuse_by_kind().get("baked", 0) > baked_before
+
+    def test_store_is_optional(self, small_dataset):
+        pipeline = NeRFlexPipeline(TINY_DEVICE, tiny_pipeline_config("serial"))
+        assert pipeline.artifacts is None
+        preparation = pipeline.prepare(small_dataset)
+        assert preparation.profiles
+
+
+class TestArtifactStore:
+    def test_get_put_and_stats(self):
+        store = ArtifactStore()
+        key = ("profile", "scene", "obj")
+        assert store.get(key) is None
+        store.put(key, 42)
+        assert store.get(key) == 42
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.puts == 1
+        assert store.stats.reuse_count == 1
+
+    def test_get_or_create_builds_once(self):
+        store = ArtifactStore()
+        calls = []
+        for _ in range(3):
+            value = store.get_or_create(("baked", "k"), lambda: calls.append(1) or "model")
+        assert value == "model"
+        assert len(calls) == 1
+
+    def test_lru_eviction(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.put(("c",), 3)
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert store.get(("a",)) is None
+
+    def test_invalidate_by_kind(self):
+        store = ArtifactStore()
+        store.put(("profile", 1), "p")
+        store.put(("baked", 1), "b")
+        assert store.invalidate("profile") == 1
+        assert ("baked", 1) in store
+        assert store.invalidate() == 1
+
+    def test_invalid_bound_raises(self):
+        with pytest.raises(ValueError):
+            ArtifactStore(max_entries=0)
+
+    def test_thread_safety_under_concurrent_mutation(self):
+        import threading
+
+        store = ArtifactStore(max_entries=32)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(200):
+                    key = ("k", (worker * 200 + i) % 48)
+                    if store.get(key) is None:
+                        store.put(key, worker)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) <= 32
+        assert store.stats.requests == store.stats.hits + store.stats.misses
+
+
+# ---------------------------------------------------------------------------
+# Timing satellites
+# ---------------------------------------------------------------------------
+
+
+class TestTimerReentrancy:
+    def test_start_while_running_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_running_property(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+
+class TestStageTimerWorkers:
+    def test_worker_time_separate_from_wall(self):
+        timer = StageTimer()
+        with timer.time("stage"):
+            pass
+        timer.add_worker("stage", 1.5)
+        timer.add_worker("stage", 0.5)
+        assert timer.worker_as_dict()["stage"] == pytest.approx(2.0)
+        assert timer.as_dict()["stage"] < 1.0  # wall clock of an empty block
+
+    def test_merge_folds_both_accountings(self):
+        a = StageTimer()
+        a.add("x", 1.0)
+        a.add_worker("x", 2.0)
+        b = StageTimer()
+        b.add("x", 0.5)
+        b.merge(a)
+        assert b.as_dict()["x"] == pytest.approx(1.5)
+        assert b.worker_as_dict()["x"] == pytest.approx(2.0)
+
+    def test_concurrent_add_is_safe(self):
+        import threading
+
+        timer = StageTimer()
+
+        def add_many():
+            for _ in range(500):
+                timer.add("s", 0.001)
+                timer.add_worker("s", 0.002)
+
+        threads = [threading.Thread(target=add_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert timer.as_dict()["s"] == pytest.approx(2.0)
+        assert timer.worker_as_dict()["s"] == pytest.approx(4.0)

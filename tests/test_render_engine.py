@@ -283,6 +283,115 @@ class TestRenderCache:
         assert engine.cache is not None
 
 
+class TestRenderCacheConcurrency:
+    """The cache is shared by concurrent render batches (thread backend)."""
+
+    def test_concurrent_put_get_never_corrupts(self):
+        import threading
+
+        cache = RenderCache()
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(300):
+                    key = ("scene", worker % 3, i % 40)
+                    value = cache.get(key)
+                    if value is None:
+                        cache.put(key, (worker, i))
+                    else:
+                        assert isinstance(value, tuple)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Accounting stays consistent: every request was a hit or a miss.
+        assert cache.stats.requests == cache.stats.hits + cache.stats.misses
+        assert len(cache) <= 3 * 40
+
+    def test_concurrent_eviction_respects_bound(self):
+        import threading
+
+        cache = RenderCache(max_entries=16)
+        barrier = threading.Barrier(6)
+        errors = []
+
+        def hammer(worker):
+            try:
+                barrier.wait()
+                for i in range(400):
+                    cache.put(("k", worker, i), i)
+                    cache.get(("k", worker, i))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The LRU bound holds under interleaved eviction.
+        assert len(cache) <= 16
+        assert cache.stats.evictions == 6 * 400 - 16
+
+    def test_concurrent_get_or_render_converges(self):
+        import threading
+
+        cache = RenderCache()
+        built = []
+
+        def render():
+            built.append(1)
+            return "image"
+
+        results = []
+
+        def worker():
+            results.append(cache.get_or_render("key", render))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Racing threads may render redundantly but must agree on the value
+        # and leave exactly one entry behind.
+        assert set(results) == {"image"}
+        assert len(cache) == 1
+        assert 1 <= len(built) <= 8
+
+    def test_concurrent_invalidate_is_safe(self):
+        import threading
+
+        cache = RenderCache()
+        for i in range(64):
+            cache.put(("a", i), i)
+            cache.put(("b", i), i)
+        errors = []
+
+        def invalidate(scene_key):
+            try:
+                cache.invalidate(scene_key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=invalidate, args=(key,)) for key in ("a", "b", "a")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) == 0
+
+
 class TestEngineValidation:
     def test_invalid_chunk_rays(self):
         with pytest.raises(ValueError):
