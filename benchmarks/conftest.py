@@ -38,18 +38,23 @@ from repro.core.pipeline import (
 from repro.core.selector import NeRFlexDPSelector
 from repro.core.selector_baselines import FairnessSelector, SLSQPSelector
 from repro.device.models import DeviceProfile, IPHONE_13, PIXEL_4
-from repro.exec import ArtifactStore
+from repro.exec import ArtifactStore, create_artifact_store
 from repro.metrics import lpips_proxy, ssim
 from repro.render import default_engine
 from repro.scenes.dataset import generate_dataset
 from repro.scenes.library import make_realworld_scene, make_simulated_scene
 from repro.utils.image import bbox_from_mask, crop_to_bbox
 
+def _env_flag(name: str) -> bool:
+    """One parser for the suite's boolean environment knobs."""
+    return os.environ.get(name, "0") not in ("0", "", "false", "False")
+
+
 #: Fast mode: smaller resolutions and shorter simulated traces, for local
 #: iteration on the benchmark suite itself (REPRO_BENCH_QUICK=1).  The
 #: default remains full fidelity, so the figures reproduced by CI / tier-1
 #: match EXPERIMENTS.md.
-QUICK_MODE = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false", "False")
+QUICK_MODE = _env_flag("REPRO_BENCH_QUICK")
 
 #: Image resolution of the generated datasets (training and scene-level test
 #: views).  The paper renders at ~800 px on-device; this reproduction scores
@@ -59,7 +64,14 @@ DATASET_RESOLUTION = 96 if QUICK_MODE else 128
 NUM_TRAIN_VIEWS = 6
 NUM_TEST_VIEWS = 2
 
-FULL_SWEEP = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+FULL_SWEEP = _env_flag("REPRO_FULL")
+
+#: Warm-store mode (REPRO_REQUIRE_WARM=1): assert at session end that every
+#: profile curve and baked model was served from the (disk-backed) artifact
+#: store — i.e. this was a second invocation against a populated
+#: REPRO_ARTIFACT_DIR and the store recomputed nothing.  CI's warm-store
+#: job runs the quick figure suite twice this way.
+REQUIRE_WARM = _env_flag("REPRO_REQUIRE_WARM")
 
 
 def make_pipeline_config() -> PipelineConfig:
@@ -137,7 +149,11 @@ class ReproductionHarness:
     (scene, device, selector) combination shares it, so profile curves fit
     for one device are reused by every other device/selector configuration
     on the same scene, and baked sub-models are reused wherever two
-    configurations select the same ``(g, p)`` for an object.
+    configurations select the same ``(g, p)`` for an object.  When
+    ``REPRO_ARTIFACT_DIR`` is set the store is disk-backed, extending that
+    reuse across *invocations*: a second benchmark run on the same scenes
+    serves every profile and bake from disk and skips the corresponding
+    stages entirely (asserted in warm-store mode, see ``REQUIRE_WARM``).
     """
 
     def __init__(self) -> None:
@@ -148,7 +164,7 @@ class ReproductionHarness:
         self._block_models: dict = {}
         self._baked_reports: dict = {}
         self._field_reports: dict = {}
-        self.artifacts = ArtifactStore()
+        self.artifacts = create_artifact_store()
 
     # -- datasets -----------------------------------------------------------
 
@@ -331,8 +347,32 @@ class ReproductionHarness:
 
 
 @pytest.fixture(scope="session")
-def harness() -> ReproductionHarness:
-    return ReproductionHarness()
+def harness():
+    instance = ReproductionHarness()
+    yield instance
+    store = instance.artifacts
+    summary = store.stats_summary()
+    print(
+        f"\n[artifact store] {summary['hits']} hits "
+        f"({summary['disk_hits']} from disk), "
+        f"recomputed {summary['recompute_by_kind'] or 'nothing'}, "
+        f"disk={'off' if store.disk is None else store.disk.root}"
+    )
+    if REQUIRE_WARM:
+        recomputes = {
+            kind: count
+            for kind, count in store.recompute_by_kind().items()
+            if kind in ("profile", "baked") and count
+        }
+        assert store.disk is not None, (
+            "REPRO_REQUIRE_WARM=1 needs a disk-backed store; set "
+            "REPRO_ARTIFACT_DIR to the directory a previous run populated"
+        )
+        assert not recomputes, (
+            "warm-store run recomputed artefacts that should have been "
+            f"served from {store.disk.root}: {recomputes} "
+            f"(disk stats: {store.disk.stats.as_dict()})"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,9 @@ workload, stage by stage:
 
 Run with:  python examples/quickstart.py
 Select an execution backend with REPRO_BACKEND=serial|thread|process.
+Set REPRO_ARTIFACT_DIR=... to persist profile curves and baked models on
+disk — a second invocation then skips the profile and bake stages entirely
+(compare the stage timings of two consecutive runs).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from __future__ import annotations
 from repro.core.config_space import ConfigurationSpace
 from repro.core.pipeline import NeRFlexPipeline, PipelineConfig
 from repro.device.models import IPHONE_13
+from repro.exec import create_artifact_store
 from repro.scenes.dataset import generate_dataset
 from repro.scenes.scene import compose_scene
 
@@ -40,8 +44,11 @@ def main() -> None:
         profile_resolution=112,
         object_eval_resolution=112,
     )
-    pipeline = NeRFlexPipeline(IPHONE_13, config)
+    artifacts = create_artifact_store()  # disk-backed iff REPRO_ARTIFACT_DIR is set
+    pipeline = NeRFlexPipeline(IPHONE_13, config, artifacts=artifacts)
     print(f"Execution backend: {pipeline.backend.describe()}")
+    if artifacts.disk is not None:
+        print(f"Persistent artifact store: {artifacts.disk.root}")
     preparation = pipeline.prepare(dataset)
 
     print("\nDetail-based segmentation:")
@@ -74,9 +81,18 @@ def main() -> None:
     print(f"\nStage timings ({report.backend_name} backend):")
     for stage, seconds in report.stage_seconds.items():
         worker = report.worker_seconds.get(stage)
+        render = report.worker_seconds.get(f"render:{stage}")
         extra = f"  (worker-side {worker:.2f} s)" if worker else ""
+        extra += f"  (engine chunks {render:.2f} s)" if render else ""
         print(f"  {stage:12s} {seconds:7.2f} s{extra}")
     print(f"  {'total':12s} {sum(report.stage_seconds.values()):7.2f} s")
+    stats = report.artifact_stats
+    if stats:
+        print(
+            f"\nArtifact store: {stats['hits']} hits "
+            f"({stats['disk_hits']} from disk), recomputed "
+            f"{stats['recompute_by_kind'] or 'nothing'}"
+        )
 
 
 if __name__ == "__main__":

@@ -165,6 +165,12 @@ class DeploymentReport:
     backend_name: str = ""
     stage_seconds: dict = field(default_factory=dict)
     worker_seconds: dict = field(default_factory=dict)
+    #: Snapshot of the pipeline's artifact-store statistics at deploy time
+    #: (see :meth:`repro.exec.ArtifactStore.stats_summary`); empty when the
+    #: pipeline runs without a store.  ``worker_seconds`` carries both the
+    #: pipeline-level stages ("profiler", "bake") and the engine-internal
+    #: render channels ("render:profiler", "render:deploy", ...).
+    artifact_stats: dict = field(default_factory=dict)
 
     @property
     def average_fps(self) -> float:
@@ -460,7 +466,12 @@ class NeRFlexPipeline:
 
         with timers.time("segmentation"):
             segmentation = self.stage_segment(dataset)
-        with timers.time("profiler"):
+        # The engine attribution channel ("render:profiler") captures the
+        # chunk maps of the ground-truth and measurement renders — work that
+        # the pipeline-level "profiler" map cannot see when it happens
+        # outside a mapped task (and that an in-process backend would
+        # double-count if it shared the "profiler" key).
+        with timers.time("profiler"), self.engine.attribute(timers, "render:profiler"):
             fields, truths, profiles = self.stage_profile(dataset, segmentation, timers)
         with timers.time("solver"):
             selection = self.stage_select(profiles)
@@ -718,7 +729,8 @@ class NeRFlexPipeline:
         the configurations that were actually deployed.  Wall-clock is
         recorded as the ``"bake"`` stage on the preparation's timers.
         """
-        with preparation.timers.time("bake"):
+        timers = preparation.timers
+        with timers.time("bake"), self.engine.attribute(timers, "render:bake"):
             return self._bake_locked(preparation)
 
     def _bake_locked(self, preparation: PreparationResult) -> BakedMultiModel:
@@ -787,7 +799,12 @@ class NeRFlexPipeline:
         context = (
             timers.time("deploy") if timers is not None else contextlib.nullcontext()
         )
-        with context:
+        attribution = (
+            self.engine.attribute(timers, "render:deploy")
+            if timers is not None
+            else contextlib.nullcontext()
+        )
+        with context, attribution:
             report = evaluate_baked_deployment(
                 multi_model,
                 dataset,
@@ -806,6 +823,8 @@ class NeRFlexPipeline:
             report.overhead_seconds = preparation.overhead_seconds
             report.stage_seconds = preparation.stage_seconds
             report.worker_seconds = timers.worker_as_dict()
+        if self.artifacts is not None:
+            report.artifact_stats = self.artifacts.stats_summary()
         return report
 
     def run(self, dataset) -> tuple:

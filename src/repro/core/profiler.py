@@ -26,6 +26,7 @@ Model families
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
 
@@ -225,6 +226,29 @@ class ObjectProfile:
     size_model: SizeModel
     measurements: dict = field(default_factory=dict)
     detail_weight: float = 1.0
+
+    def state_tuple(self) -> tuple:
+        """The profile's complete fitted state as one nested tuple.
+
+        Covers every field that influences predictions and selection — the
+        configuration space, both models' parameters, the raw measurements
+        (in insertion order) and the detail weight.  Two profiles with equal
+        state tuples behave identically everywhere the library reads them,
+        which is what the persistence round-trip and cross-invocation golden
+        tests assert (floats are compared exactly, no tolerance).
+        """
+        return (
+            self.name,
+            tuple(self.config_space.granularities),
+            tuple(self.config_space.patch_sizes),
+            (type(self.quality_model).__name__,) + dataclasses.astuple(self.quality_model),
+            (type(self.size_model).__name__,) + dataclasses.astuple(self.size_model),
+            tuple(
+                (config.granularity, config.patch_size, quality, size_mb)
+                for config, (quality, size_mb) in self.measurements.items()
+            ),
+            self.detail_weight,
+        )
 
     def predict_quality(self, config: Configuration) -> float:
         return self.quality_model.predict(config)

@@ -1,12 +1,14 @@
 """Execution layer: pluggable backends and the content-addressed artefact store.
 
 See :mod:`repro.exec.backends` for the serial / thread / process execution
-backends behind every bulk workload, and :mod:`repro.exec.artifacts` for the
-store that lets staged pipeline runs reuse profile curves and baked models
-across devices, selectors and repeated ``prepare()`` calls.
+backends behind every bulk workload, :mod:`repro.exec.artifacts` for the
+two-level store that lets staged pipeline runs reuse profile curves and
+baked models across devices, selectors and repeated ``prepare()`` calls,
+and :mod:`repro.exec.persist` for the on-disk tier that extends that reuse
+across invocations (``$REPRO_ARTIFACT_DIR``).
 """
 
-from repro.exec.artifacts import ArtifactStats, ArtifactStore
+from repro.exec.artifacts import ArtifactStats, ArtifactStore, create_artifact_store
 from repro.exec.backends import (
     BACKEND_ENV_VAR,
     BACKENDS,
@@ -19,20 +21,35 @@ from repro.exec.backends import (
     in_worker_process,
     resolve_backend,
     shard_rng,
+    shutdown_process_pools,
+)
+from repro.exec.persist import (
+    ARTIFACT_DIR_ENV_VAR,
+    DiskArtifactStore,
+    DiskStoreStats,
+    artifact_dir_from_env,
+    default_artifact_dir,
 )
 
 __all__ = [
+    "ARTIFACT_DIR_ENV_VAR",
     "ArtifactStats",
     "ArtifactStore",
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "Backend",
     "DEFAULT_BACKEND_NAME",
+    "DiskArtifactStore",
+    "DiskStoreStats",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
+    "artifact_dir_from_env",
+    "create_artifact_store",
+    "default_artifact_dir",
     "fork_available",
     "in_worker_process",
     "resolve_backend",
     "shard_rng",
+    "shutdown_process_pools",
 ]

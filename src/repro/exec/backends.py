@@ -13,11 +13,13 @@ and routed through one of three interchangeable backends:
   GIL-bound and only numpy-releasing sections overlap.
 * :class:`ProcessBackend` — a ``fork``-based process pool that sidesteps the
   GIL entirely.  Workers inherit the parent's memory image, so the task
-  callable and its items are **never pickled** (closures over scenes, SDF
-  lambdas and lazy textures all work); only each task's *return value*
-  crosses the process boundary, as pickled arrays.  Task side effects
-  (cache writes) stay in the worker and are re-applied by the caller from
-  the returned values.
+  callable is **never pickled** (closures over scenes, SDF lambdas and lazy
+  textures all work).  The pool is persistent: consecutive maps with the
+  same callable reuse the forked workers (items then cross the task queue
+  pickled); a new callable re-forks, and maps whose items do not pickle
+  fall back to a one-shot fork that inherits the items by memory image too.
+  Task side effects (cache writes) stay in the worker and are re-applied by
+  the caller from the returned values.
 
 Backends are selected by name — ``PipelineConfig.backend``, the
 ``REPRO_BACKEND`` environment variable, or :func:`resolve_backend` directly.
@@ -32,10 +34,14 @@ which order) a shard executes.
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
 import os
+import pickle
 import threading
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -155,11 +161,83 @@ _TASK_FN = None
 _TASK_ITEMS: "list | None" = None
 _FORK_LOCK = threading.Lock()
 
+#: Task callables of the *persistent* pools, keyed by a per-pool token.
+#: Entries are added immediately before the pool is forked (so workers
+#: inherit them by memory image) and removed only when the pool is disposed
+#: — therefore a replacement worker re-forked by a live pool at any later
+#: time still finds its own pool's callable under its token, even after
+#: other pools have come and gone.
+_POOL_TASKS: dict = {}
+_POOL_TOKENS = itertools.count()
+
+#: Live backends with persistent pools, for interpreter-exit cleanup.
+_LIVE_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Bound on concurrently *live* persistent pools across all backend
+#: instances.  Pipelines, engines and baselines each resolve their own
+#: backend; without a bound, every instance's last pool would idle until
+#: interpreter exit (workers each pinning a copy-on-write image of the
+#: parent).  Pools are disposed least-recently-used beyond this.
+_MAX_LIVE_POOLS = 2
+
+#: Backends owning live pools, oldest first (weakrefs; callers hold
+#: ``_FORK_LOCK``).
+_POOL_OWNERS: list = []
+
+
+def _note_pool_owner(backend) -> None:
+    """Mark ``backend``'s pool most-recently-used; evict idle pools beyond
+    the global bound.  Caller holds ``_FORK_LOCK``, so no evicted pool can
+    have a map in flight."""
+    _POOL_OWNERS[:] = [
+        ref
+        for ref in _POOL_OWNERS
+        if ref() is not None and ref() is not backend and ref()._pool is not None
+    ]
+    _POOL_OWNERS.append(weakref.ref(backend))
+    while len(_POOL_OWNERS) > _MAX_LIVE_POOLS:
+        oldest = _POOL_OWNERS.pop(0)()
+        if oldest is not None:
+            oldest._dispose_pool()
+
+
+def shutdown_process_pools() -> None:
+    """Shut down every live :class:`ProcessBackend` pool (atexit hook)."""
+    for backend in list(_LIVE_BACKENDS):
+        backend.shutdown()
+
+
+atexit.register(shutdown_process_pools)
+
 
 def _run_forked_task(index: int) -> tuple:
     """Execute one inherited task in a forked worker; time it locally."""
     start = time.perf_counter()
     result = _TASK_FN(_TASK_ITEMS[index])
+    return time.perf_counter() - start, result
+
+
+def _reap_pool(pool, token) -> None:
+    """Terminate a persistent pool and drop its task registration.
+
+    Module-level so :func:`weakref.finalize` can run it when a backend is
+    garbage-collected without an explicit :meth:`ProcessBackend.shutdown`.
+    """
+    pool.terminate()
+    pool.join()
+    _POOL_TASKS.pop(token, None)
+
+
+def _run_pooled_task(payload: tuple) -> tuple:
+    """Execute one task in a persistent-pool worker; time it locally.
+
+    The item arrives pickled through the task queue; the callable was
+    inherited by memory image when the pool was forked and is looked up by
+    its pool token.
+    """
+    token, item = payload
+    start = time.perf_counter()
+    result = _POOL_TASKS[token](item)
     return time.perf_counter() - start, result
 
 
@@ -171,10 +249,21 @@ class ProcessBackend(Backend):
     from the returned values), return values must pickle, and any
     randomness must come from :func:`shard_rng` keyed by the item index.
 
+    The pool is **persistent**: the first map forks ``workers`` children
+    that inherit the task callable by memory image, and consecutive maps
+    with the *same* callable reuse them — items cross the task queue
+    pickled, results come back pickled, and nothing is re-forked.  A map
+    with a different callable disposes the pool and forks a fresh one (the
+    callable itself can only travel by fork).  Maps whose items do not
+    pickle take the one-shot fork path instead, inheriting both callable
+    and items by memory image exactly as before; the persistent pool is
+    left intact for the next reusable map.  :meth:`shutdown` (also run at
+    interpreter exit) reaps the children.
+
     Falls back to the serial loop when the platform lacks ``fork`` (the
-    callable/item inheritance trick requires it), when called from inside a
-    pool worker (daemonic workers cannot fork children), or when the
-    workload is too small to amortise a pool.
+    inheritance trick requires it), when called from inside a pool worker
+    (daemonic workers cannot fork children), or when the workload is too
+    small to amortise a dispatch.
     """
 
     name = "process"
@@ -182,9 +271,17 @@ class ProcessBackend(Backend):
     def __init__(self, workers: "int | None" = None) -> None:
         default = os.cpu_count() or 1
         self.workers = max(int(workers) if workers is not None else default, 1)
+        self._pool = None
+        self._pool_fn = None
+        self._pool_token = None
+        self._pool_size = 0
+        self._pool_finalizer = None
+        #: Number of pools forked over this backend's lifetime; a map served
+        #: without this increasing reused the persistent pool.
+        self.fork_count = 0
+        _LIVE_BACKENDS.add(self)
 
     def map(self, fn, items, timer=None, stage=None) -> list:
-        global _TASK_FN, _TASK_ITEMS
         items = list(items)
         if (
             self.workers <= 1
@@ -194,19 +291,83 @@ class ProcessBackend(Backend):
         ):
             return SerialBackend().map(fn, items, timer=timer, stage=stage)
         # Serialise concurrent fork maps end to end: the inherited globals
-        # must stay stable for the pool's whole lifetime (worker re-forks
-        # included), so a second thread's map waits for the first to finish
-        # rather than interleaving pools.  Parallelism comes from the
+        # must stay stable while any pool is being forked, and a persistent
+        # pool must never run two maps at once.  Parallelism comes from the
         # workers inside one map, not from overlapping maps.
         with _FORK_LOCK:
-            _TASK_FN, _TASK_ITEMS = fn, items
             try:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=min(self.workers, len(items))) as pool:
-                    pairs = pool.map(_run_forked_task, range(len(items)), chunksize=1)
-            finally:
-                _TASK_FN, _TASK_ITEMS = None, None
-        return _credit(timer, stage, pairs)
+                # Probe once whether the items can cross a task queue; the
+                # probe's serialisation work is redundant with the pool's
+                # own, but items on the hot paths are chunk indices and
+                # small configuration tuples, so it is noise there.
+                pickle.dumps(items)
+            except Exception:
+                return _credit(timer, stage, self._map_one_shot(fn, items))
+            return _credit(timer, stage, self._map_pooled(fn, items))
+
+    def _map_pooled(self, fn, items: list) -> list:
+        """Run a map on the persistent pool, (re)forking it if needed.
+
+        The pool is re-forked when the callable changes and when a larger
+        map could use more workers than the pool was sized for (pools are
+        forked at ``min(workers, len(items))`` so small maps do not spawn
+        idle children).
+        """
+        wanted = min(self.workers, len(items))
+        if (
+            self._pool is None
+            or self._pool_fn is not fn
+            or wanted > self._pool_size
+        ):
+            self._dispose_pool()
+            token = next(_POOL_TOKENS)
+            _POOL_TASKS[token] = fn
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(processes=wanted)
+            self._pool_fn = fn
+            self._pool_token = token
+            self._pool_size = wanted
+            self._pool_finalizer = weakref.finalize(
+                self, _reap_pool, self._pool, token
+            )
+            self.fork_count += 1
+        _note_pool_owner(self)
+        try:
+            return self._pool.map(
+                _run_pooled_task,
+                [(self._pool_token, item) for item in items],
+                chunksize=1,
+            )
+        except BaseException:
+            # A worker may have died mid-map (or the pool be otherwise
+            # unusable); dispose it so the next map forks a clean one.
+            self._dispose_pool()
+            raise
+
+    def _map_one_shot(self, fn, items: list) -> list:
+        """Fork a single-use pool inheriting the callable *and* the items."""
+        global _TASK_FN, _TASK_ITEMS
+        _TASK_FN, _TASK_ITEMS = fn, items
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(self.workers, len(items))) as pool:
+                return pool.map(_run_forked_task, range(len(items)), chunksize=1)
+        finally:
+            _TASK_FN, _TASK_ITEMS = None, None
+
+    def _dispose_pool(self) -> None:
+        """Tear down the persistent pool and its task registration."""
+        finalizer = self._pool_finalizer
+        self._pool = self._pool_fn = self._pool_token = None
+        self._pool_size = 0
+        self._pool_finalizer = None
+        if finalizer is not None:
+            finalizer()  # idempotent: terminate + join + registry cleanup
+
+    def shutdown(self) -> None:
+        """Reap the persistent pool's workers (idempotent, thread-safe)."""
+        with _FORK_LOCK:
+            self._dispose_pool()
 
 
 #: Registry of selectable backends, keyed by the names accepted from

@@ -30,6 +30,8 @@ over a shared default engine, so downstream callers keep working unchanged.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.baking.meshing import _TANGENT_AXES
@@ -256,8 +258,34 @@ class RenderEngine:
         self.workers = 1 if workers is None else int(workers)
         self.cache = cache
         self.backend = resolve_backend(backend, workers=workers)
+        self._stage_timer = None
+        self._stage_name = None
 
     # -- shared machinery ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def attribute(self, timer, stage: "str | None"):
+        """Attribute engine-internal chunk maps to a stage while active.
+
+        Within the context, every ray-chunk map run by this engine reports
+        its worker-side task seconds to ``timer`` (a
+        :class:`repro.utils.timing.StageTimer`) under ``stage`` — the
+        channel that makes the marching work *inside* a render visible to
+        the per-stage overhead accounting, which otherwise only sees
+        pipeline-level maps.  Callers use a dedicated stage name (the
+        pipeline uses ``"render:<stage>"``) because with an in-process
+        backend a render issued from inside another attributed task would
+        otherwise be double-counted into that task's stage.  Attribution is
+        engine-instance state, not thread-local: attribute and render from
+        the same thread.
+        """
+        previous = (self._stage_timer, self._stage_name)
+        self._stage_timer = timer if stage is not None else None
+        self._stage_name = stage
+        try:
+            yield self
+        finally:
+            self._stage_timer, self._stage_name = previous
 
     def _map_chunks(self, process, starts) -> list:
         """Map ``process`` over chunk starts via the execution backend.
@@ -265,9 +293,15 @@ class RenderEngine:
         ``process(start)`` must be a pure function of its chunk (no writes
         to shared state — with the process backend they would be lost in the
         worker); results come back in chunk order for deterministic
-        assembly.
+        assembly.  Worker-side task time lands on the stage configured via
+        :meth:`attribute`, when one is active.
         """
-        return self.backend.map(process, list(starts))
+        return self.backend.map(
+            process,
+            list(starts),
+            timer=self._stage_timer,
+            stage=self._stage_name,
+        )
 
     def _cached_views(self, cameras, scene_key, quality_key, render_batch):
         """Memoise per-camera results, rendering the misses in one batch.

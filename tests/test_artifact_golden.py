@@ -1,0 +1,83 @@
+"""Cross-invocation golden tier for the persistent artifact store.
+
+Two *separate interpreter invocations* run the full staged pipeline against
+one ``$REPRO_ARTIFACT_DIR``.  The second must (a) serve every profile and
+bake from disk — zero recomputes in the store statistics — and (b) produce
+bit-identical allocations and deployment numbers.  This pins the whole
+exec/store surface end to end: canonical key hashing, the container format,
+every artefact codec and the pipeline's store wiring.  Any drift — a codec
+losing precision, a key picking up process-dependent state, a stage
+bypassing the store — fails here before it can corrupt a benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DRIVER = os.path.join(REPO_ROOT, "tests", "_golden_driver.py")
+
+
+def run_driver(artifact_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_ARTIFACT_DIR"] = artifact_dir
+    # Different hash seeds per invocation: key stability must not depend on
+    # string hashing.
+    env.pop("PYTHONHASHSEED", None)
+    result = subprocess.run(
+        [sys.executable, DRIVER],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+@pytest.fixture(scope="module")
+def golden_runs(tmp_path_factory):
+    artifact_dir = str(tmp_path_factory.mktemp("golden-store"))
+    cold = run_driver(artifact_dir)
+    warm = run_driver(artifact_dir)
+    return cold, warm
+
+
+class TestCrossInvocationGolden:
+    def test_cold_run_populates_the_store(self, golden_runs):
+        cold, _ = golden_runs
+        recomputes = cold["store"]["recompute_by_kind"]
+        assert recomputes.get("profile", 0) > 0
+        assert recomputes.get("baked", 0) > 0
+        assert cold["store"]["disk_puts"] >= recomputes["profile"] + recomputes["baked"]
+        assert cold["report"]["loaded"] is True
+
+    def test_warm_run_recomputes_nothing(self, golden_runs):
+        cold, warm = golden_runs
+        assert warm["store"]["recompute_by_kind"] == {}
+        # Everything the cold run computed came back off the disk tier.
+        assert warm["store"]["disk_hits"] >= (
+            cold["store"]["recompute_by_kind"]["profile"]
+            + cold["store"]["recompute_by_kind"]["baked"]
+        )
+        assert warm["store"]["reuse_by_kind"].get("profile", 0) > 0
+        assert warm["store"]["reuse_by_kind"].get("baked", 0) > 0
+
+    def test_warm_run_is_bit_identical(self, golden_runs):
+        cold, warm = golden_runs
+        # Allocations, profile state and the full deployment report: exact
+        # equality, no tolerances (floats round-trip through JSON repr).
+        assert warm["assignments"] == cold["assignments"]
+        assert warm["predicted_size_mb"] == cold["predicted_size_mb"]
+        assert warm["predicted_quality"] == cold["predicted_quality"]
+        assert warm["profile_state_sha256"] == cold["profile_state_sha256"]
+        assert warm["report"] == cold["report"]

@@ -418,6 +418,166 @@ class TestArtifactStore:
 
 
 # ---------------------------------------------------------------------------
+# Persistent fork pool
+# ---------------------------------------------------------------------------
+
+
+def _pooled_pid_task(x):
+    """Module-level task: stable callable identity across consecutive maps."""
+    return (os.getpid(), x * 3)
+
+
+def _pooled_other_task(x):
+    return x + 100
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestPersistentPool:
+    def test_pool_reused_across_consecutive_maps(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            first = backend.map(_pooled_pid_task, list(range(8)))
+            assert backend.fork_count == 1
+            second = backend.map(_pooled_pid_task, list(range(8, 16)))
+            third = backend.map(_pooled_pid_task, list(range(16, 24)))
+            # No re-fork, correct ordered values, and the later maps ran on
+            # the same forked children.
+            assert backend.fork_count == 1
+            assert [v for _, v in first] == [x * 3 for x in range(8)]
+            assert [v for _, v in second] == [x * 3 for x in range(8, 16)]
+            assert [v for _, v in third] == [x * 3 for x in range(16, 24)]
+            assert {pid for pid, _ in third} <= {pid for pid, _ in second} | {
+                pid for pid, _ in first
+            }
+        finally:
+            backend.shutdown()
+
+    def test_refork_on_callable_change(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            backend.map(_pooled_pid_task, [1, 2, 3])
+            assert backend.fork_count == 1
+            assert backend.map(_pooled_other_task, [1, 2, 3]) == [101, 102, 103]
+            assert backend.fork_count == 2
+            # A fresh closure is a new callable: re-fork again.
+            offset = 7
+            assert backend.map(lambda x: x + offset, [1, 2]) == [8, 9]
+            assert backend.fork_count == 3
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_leaves_no_children(self):
+        backend = ProcessBackend(workers=2)
+        results = backend.map(_pooled_pid_task, list(range(6)))
+        worker_pids = {pid for pid, _ in results}
+        assert worker_pids
+        backend.shutdown()
+        for pid in worker_pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: the worker is gone
+        # Shutdown is idempotent and the backend still serves maps after
+        # (by forking a fresh pool).
+        backend.shutdown()
+        try:
+            assert [v for _, v in backend.map(_pooled_pid_task, [1, 2])] == [3, 6]
+        finally:
+            backend.shutdown()
+
+    def test_unpicklable_items_take_one_shot_path(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            backend.map(_pooled_pid_task, [1, 2, 3])
+            forks_before = backend.fork_count
+            lock = __import__("threading").Lock()
+            items = [(lock, value) for value in range(4)]
+            assert backend.map(lambda item: item[1] * 2, items) == [0, 2, 4, 6]
+            # One-shot forks are not persistent-pool forks, and the
+            # persistent pool survives for the next reusable map.
+            assert backend.fork_count == forks_before
+            assert [v for _, v in backend.map(_pooled_pid_task, [5, 6])] == [15, 18]
+            assert backend.fork_count == forks_before
+        finally:
+            backend.shutdown()
+
+    def test_worker_time_attributed_through_pool(self):
+        backend = ProcessBackend(workers=2)
+        try:
+            timer = StageTimer()
+            backend.map(
+                _pooled_pid_task, list(range(6)), timer=timer, stage="pooled"
+            )
+            assert timer.worker_as_dict()["pooled"] > 0.0
+        finally:
+            backend.shutdown()
+
+    def test_repeated_engine_renders_stay_bit_identical(self, two_object_scene):
+        """Engine maps through one backend instance: parity across repeats.
+
+        Consecutive renders re-use or re-fork the pool depending on closure
+        identity; either way the images must match the serial reference
+        exactly every time.
+        """
+        cameras = orbit_cameras(
+            two_object_scene.center,
+            radius=1.3 * two_object_scene.extent,
+            count=1,
+            width=36,
+            height=36,
+        )
+        reference = RenderEngine(chunk_rays=193, backend=SerialBackend()).render_scene(
+            two_object_scene, cameras[0]
+        )
+        backend = ProcessBackend(workers=2)
+        try:
+            engine = RenderEngine(chunk_rays=193, backend=backend)
+            for _ in range(3):
+                assert_results_identical(
+                    reference, engine.render_scene(two_object_scene, cameras[0])
+                )
+        finally:
+            backend.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Engine-internal worker attribution
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAttribution:
+    def test_chunk_maps_report_worker_seconds(self, two_object_scene):
+        camera = orbit_cameras(
+            two_object_scene.center,
+            radius=1.3 * two_object_scene.extent,
+            count=1,
+            width=36,
+            height=36,
+        )[0]
+        engine = RenderEngine(chunk_rays=97)  # many chunks, no cache
+        timer = StageTimer()
+        with engine.attribute(timer, "render:test"):
+            engine.render_scene(two_object_scene, camera)
+        assert timer.worker_as_dict()["render:test"] > 0.0
+        # Outside the context the engine stops attributing.
+        engine.render_scene(two_object_scene, camera)
+        assert set(timer.worker_as_dict()) == {"render:test"}
+
+    def test_pipeline_reports_engine_render_channels(self, small_dataset):
+        pipeline = NeRFlexPipeline(
+            TINY_DEVICE,
+            tiny_pipeline_config("serial"),
+            engine=RenderEngine(chunk_rays=512, backend="serial"),
+        )
+        _, _, report = pipeline.run(small_dataset)
+        assert report.loaded
+        # Pipeline-level map attribution and engine-internal attribution
+        # are separate channels: the profiler's measure tasks land on
+        # "profiler", the deploy-time marching on "render:deploy".
+        assert report.worker_seconds.get("profiler", 0.0) > 0.0
+        assert report.worker_seconds.get("render:profiler", 0.0) > 0.0
+        assert report.worker_seconds.get("render:deploy", 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
 # Timing satellites
 # ---------------------------------------------------------------------------
 
