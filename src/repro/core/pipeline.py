@@ -88,9 +88,12 @@ class PipelineConfig:
             honoured, so ``render_workers=1`` bounds even a process backend
             to one worker.
         backend: execution-backend name (``"serial"`` / ``"thread"`` /
-            ``"process"``); ``None`` consults the ``REPRO_BACKEND``
-            environment variable and defaults to the behaviour-preserving
-            thread backend.  See :mod:`repro.exec.backends`.
+            ``"process"`` / ``"cluster"``); ``None`` consults the
+            ``REPRO_BACKEND`` environment variable and defaults to the
+            behaviour-preserving thread backend.  The cluster backend
+            shards stage work (objects for profile/bake, ray chunks for
+            deploy) across worker daemons — see :mod:`repro.exec.cluster`;
+            every backend produces bit-identical pipeline output.
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -380,6 +383,21 @@ class NeRFlexPipeline:
             backend if backend is not None else self.config.backend,
             workers=self.config.render_workers,
         )
+        # Store-aware scheduling: a cost-hinted backend (the cluster) shares
+        # this pipeline's on-disk artifact tier, so its planner can mark
+        # already-persisted profiles/bakes as cheap shards and its workers
+        # can serve them from disk.  Known caveat: this mutates a
+        # caller-supplied backend instance, so a backend reused across
+        # pipelines keeps the *first* pipeline's store (the write-through
+        # guard in stage_profile compares store roots, so results stay
+        # correct; only the scheduling hints would consult the older store).
+        if (
+            getattr(self.backend, "supports_cost_hints", False)
+            and getattr(self.backend, "store", None) is None
+            and self.artifacts is not None
+            and self.artifacts.disk is not None
+        ):
+            self.backend.store = self.artifacts.disk
         self.engine = engine or RenderEngine(
             chunk_rays=self.config.render_chunk_rays,
             workers=self.config.render_workers,
@@ -401,14 +419,24 @@ class NeRFlexPipeline:
         Returns ``(fields, truths, profiles)``.  Profile curves are looked
         up in the artifact store first — they depend on the scene content
         and the preparation knobs, never on the device, so a store shared
-        across pipelines fits each sub-scene exactly once.  Misses fan their
-        sample measurements out through the execution backend; worker-side
-        time is attributed to the ``"profiler"`` stage on ``timers``.
+        across pipelines fits each sub-scene exactly once.  Misses fan out
+        through the execution backend; worker-side time is attributed to
+        the ``"profiler"`` stage on ``timers``.
+
+        Sharding granularity follows the backend: in-process and fork-pool
+        backends parallelise each fit's *sample measurements* (the paper's
+        45-task fan-out), while an object-sharding backend
+        (``backend.shards_objects``, i.e. the cluster backend) is handed
+        whole objects — one profile fit per shard item, cost-weighted by
+        the measurements still missing and discounted for profiles already
+        in the shared on-disk store (see
+        :meth:`repro.exec.cluster.ClusterBackend.map`).  Both paths are
+        pure per object and produce bit-identical profiles.
         """
         fields: dict = {}
         truths: dict = {}
-        profiles: list = []
-        fitter = ProfileFitter(self.config.config_space)
+        profiles_by_name: dict = {}
+        pending: list = []
         for sub_scene in segmentation.sub_scenes:
             truth = dataset.scene.subset(sub_scene.instance_ids)
             field_model = self._build_field(truth, sub_scene)
@@ -417,15 +445,34 @@ class NeRFlexPipeline:
             artifact_key = self._profile_artifact_key(dataset, sub_scene, field_model)
             profile = self.artifacts.get(artifact_key) if self.artifacts is not None else None
             if profile is None:
-                measure = self._make_measure_fn(dataset, sub_scene, truth, field_model)
-                profile = fitter.fit(
-                    sub_scene.name,
-                    measure,
-                    map_fn=self._stage_map("profiler", timers),
-                )
+                pending.append((sub_scene, truth, field_model, artifact_key))
+            else:
+                profiles_by_name[sub_scene.name] = profile
+
+        if pending:
+            sharded = getattr(self.backend, "shards_objects", False) and len(pending) > 1
+            if sharded:
+                fitted = self._profile_objects_sharded(dataset, pending, timers)
+            else:
+                fitted = [self._fit_profile(dataset, entry, timers) for entry in pending]
+            # In the sharded path the workers already persisted fresh fits
+            # into the shared disk tier; the parent then only needs the
+            # memory-tier put, not a second disk write of the same bytes.
+            # Compared by directory, not instance: an env-configured backend
+            # builds its own store object over the same cache directory.
+            backend_store = getattr(self.backend, "store", None)
+            worker_persisted = (
+                sharded
+                and self.artifacts is not None
+                and self.artifacts.disk is not None
+                and backend_store is not None
+                and backend_store.root == self.artifacts.disk.root
+            )
+            for (sub_scene, _, _, artifact_key), profile in zip(pending, fitted):
                 # Re-apply worker-side memoisation in this process: with the
-                # process backend the measure tasks ran in forked children,
-                # whose measurement_cache writes died with them.
+                # process and cluster backends the measure tasks ran in
+                # forked children, whose measurement_cache writes died with
+                # them.
                 for config, measurement in profile.measurements.items():
                     key = (
                         dataset.name,
@@ -435,8 +482,14 @@ class NeRFlexPipeline:
                     )
                     self.measurement_cache.setdefault(key, measurement)
                 if self.artifacts is not None:
-                    self.artifacts.put(artifact_key, profile)
-            profiles.append(profile)
+                    self.artifacts.put(
+                        artifact_key, profile, write_through=not worker_persisted
+                    )
+                profiles_by_name[sub_scene.name] = profile
+
+        profiles = [
+            profiles_by_name[sub_scene.name] for sub_scene in segmentation.sub_scenes
+        ]
 
         # Detail weights: the selector's objective follows the segmentation
         # module's detail frequencies (normalised to mean 1), so texture
@@ -499,6 +552,71 @@ class NeRFlexPipeline:
             return self.backend.map(fn, items, timer=timers, stage=stage)
 
         return mapper
+
+    def _fit_profile(self, dataset, entry: tuple, timers: "StageTimer | None"):
+        """Fit one sub-scene's profile, fanning its sample measurements out."""
+        sub_scene, truth, field_model, _ = entry
+        measure = self._make_measure_fn(dataset, sub_scene, truth, field_model)
+        return ProfileFitter(self.config.config_space).fit(
+            sub_scene.name,
+            measure,
+            map_fn=self._stage_map("profiler", timers),
+        )
+
+    def _profile_cost(self, dataset, sub_scene: SubScene) -> float:
+        """Estimated profiling work of one sub-scene, for shard planning.
+
+        A sample measurement bakes at granularity ``g`` (``g^3`` voxel
+        work) and textures ``p`` texels per face edge; measurements already
+        memoised in ``measurement_cache`` cost nothing.
+        """
+        cost = 0.0
+        for config in self.config.config_space.profiling_configs():
+            key = (dataset.name, sub_scene.name, config.granularity, config.patch_size)
+            if key not in self.measurement_cache:
+                cost += float(config.granularity) ** 3 * float(config.patch_size)
+        return max(cost, 1.0)
+
+    def _profile_objects_sharded(
+        self, dataset, pending: list, timers: "StageTimer | None"
+    ) -> list:
+        """Fan whole-object profile fits out through an object-sharding backend.
+
+        Each task fits one sub-scene's profile end to end (ground-truth
+        close-ups, sample bakes, model fits) inside a worker; nested maps
+        degenerate to the serial loop there, so the parallelism is purely
+        across objects — the paper's unit of decomposition.  Workers share
+        the backend's on-disk artifact store: a profile another process
+        (or a previous invocation) already persisted is loaded instead of
+        recomputed, and fresh fits are persisted from the worker so
+        sibling schedulers see them immediately.  Tasks are pure functions
+        of their sub-scene, so results are bit-identical to the in-process
+        path for any worker or shard count.
+        """
+        store = getattr(self.backend, "store", None)
+        config_space = self.config.config_space
+        pipeline = self
+
+        def fit_task(entry):
+            sub_scene, truth, field_model, artifact_key = entry
+            if store is not None:
+                cached = store.get(artifact_key)
+                if cached is not None:
+                    return cached
+            measure = pipeline._make_measure_fn(dataset, sub_scene, truth, field_model)
+            profile = ProfileFitter(config_space).fit(sub_scene.name, measure)
+            if store is not None:
+                store.put(artifact_key, profile)
+            return profile
+
+        return self.backend.map(
+            fit_task,
+            pending,
+            timer=timers,
+            stage="profiler",
+            costs=[self._profile_cost(dataset, entry[0]) for entry in pending],
+            cost_keys=[entry[3] for entry in pending],
+        )
 
     def _profile_artifact_key(self, dataset, sub_scene: SubScene, field_model) -> tuple:
         """Content-addressed artifact key of one sub-scene's profile curves."""
@@ -690,11 +808,19 @@ class NeRFlexPipeline:
                 else:
                     geometries[geometry_key] = geometry
             if tasks:
+                map_kwargs = {}
+                if getattr(self.backend, "supports_cost_hints", False):
+                    # Voxelisation work scales with the granularity cube; the
+                    # shard planner balances mixed-granularity bakes with it.
+                    map_kwargs["costs"] = [
+                        float(granularity) ** 3 for _, _, granularity in tasks
+                    ]
                 computed = self.backend.map(
                     lambda task: bake_geometry(task[1], task[2]),
                     tasks,
                     timer=timers,
                     stage="bake",
+                    **map_kwargs,
                 )
                 for (geometry_key, _, _), geometry in zip(tasks, computed):
                     self.measurement_cache[geometry_key] = geometry

@@ -1,11 +1,12 @@
 """Execution layer: pluggable backends and the content-addressed artefact store.
 
 See :mod:`repro.exec.backends` for the serial / thread / process execution
-backends behind every bulk workload, :mod:`repro.exec.artifacts` for the
-two-level store that lets staged pipeline runs reuse profile curves and
-baked models across devices, selectors and repeated ``prepare()`` calls,
-and :mod:`repro.exec.persist` for the on-disk tier that extends that reuse
-across invocations (``$REPRO_ARTIFACT_DIR``).
+backends behind every bulk workload, :mod:`repro.exec.cluster` for the
+shard-planned cluster backend over worker daemons, :mod:`repro.exec.
+artifacts` for the two-level store that lets staged pipeline runs reuse
+profile curves and baked models across devices, selectors and repeated
+``prepare()`` calls, and :mod:`repro.exec.persist` for the on-disk tier
+that extends that reuse across invocations (``$REPRO_ARTIFACT_DIR``).
 """
 
 from repro.exec.artifacts import ArtifactStats, ArtifactStore, create_artifact_store
@@ -18,10 +19,19 @@ from repro.exec.backends import (
     SerialBackend,
     ThreadBackend,
     fork_available,
+    fresh_seed_root,
     in_worker_process,
     resolve_backend,
     shard_rng,
     shutdown_process_pools,
+)
+from repro.exec.cluster import (
+    ClusterBackend,
+    ClusterStats,
+    ClusterTaskError,
+    Shard,
+    ShardPlanner,
+    store_aware_costs,
 )
 from repro.exec.persist import (
     ARTIFACT_DIR_ENV_VAR,
@@ -38,18 +48,25 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "Backend",
+    "ClusterBackend",
+    "ClusterStats",
+    "ClusterTaskError",
     "DEFAULT_BACKEND_NAME",
     "DiskArtifactStore",
     "DiskStoreStats",
     "ProcessBackend",
     "SerialBackend",
+    "Shard",
+    "ShardPlanner",
     "ThreadBackend",
     "artifact_dir_from_env",
     "create_artifact_store",
     "default_artifact_dir",
     "fork_available",
+    "fresh_seed_root",
     "in_worker_process",
     "resolve_backend",
     "shard_rng",
     "shutdown_process_pools",
+    "store_aware_costs",
 ]

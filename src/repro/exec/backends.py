@@ -28,8 +28,14 @@ in ``tests/test_exec_backends.py``): tasks are pure functions of their item
 and results are assembled in item order.  Every task currently shipped is
 fully deterministic; should a future workload need randomness, it must
 derive its stream from :func:`shard_rng` — a pure function of
-``(seed, shard_index)`` — so the draw never depends on which worker (or in
-which order) a shard executes.
+``(seed, shard_index)`` for integer seeds — so the draw never depends on
+which worker (or in which order) a shard executes.
+
+A fourth backend, :class:`repro.exec.cluster.ClusterBackend` (name
+``"cluster"``), executes cost-weighted shards on worker daemons behind a
+length-prefixed socket protocol — see :mod:`repro.exec.cluster`.  It
+registers itself into :data:`BACKENDS` on import; :func:`resolve_backend`
+imports it lazily when the name is requested.
 """
 
 from __future__ import annotations
@@ -55,19 +61,37 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 DEFAULT_BACKEND_NAME = "thread"
 
 
+def fresh_seed_root() -> int:
+    """A fresh OS-entropy seed root for one map's nondeterministic streams.
+
+    Callers that want nondeterministic *but shard-count-invariant* shard
+    streams must draw one root per map and pass it as the ``seed`` of every
+    shard's :func:`shard_rng` — the draw then depends only on the root and
+    the item index, never on how items were grouped into shards or which
+    worker ran them.
+    """
+    return int(np.random.SeedSequence().entropy)
+
+
 def shard_rng(seed: "int | None", shard_index: int) -> np.random.Generator:
     """Deterministic, order-independent generator for one shard of work.
 
     Unlike :func:`repro.utils.rng.derive_rng` (which draws entropy from the
     parent generator and therefore depends on call order), the shard stream
-    is a pure function of ``(seed, shard_index)``.  Two backends that
-    execute shards in different orders — or on different workers — therefore
-    draw identical numbers per shard, which is what keeps randomised
-    workloads bit-identical across backends.
+    is a pure function of ``(seed, shard_index)`` for any integer seed.
+    Two backends that execute shards in different orders — or on different
+    workers — therefore draw identical numbers per shard, which is what
+    keeps randomised workloads bit-identical across backends.
+
+    ``seed=None`` explicitly requests nondeterminism and draws a fresh
+    entropy root (via :func:`fresh_seed_root`) for this call alone — it
+    must never alias the deterministic ``seed=0`` stream, or
+    "nondeterministic" callers would silently collide with seeded runs.
+    Callers that need one consistent nondeterministic stream per *map*
+    should draw :func:`fresh_seed_root` once and pass the int.
     """
-    sequence = np.random.SeedSequence(
-        [0 if seed is None else int(seed), int(shard_index)]
-    )
+    root = fresh_seed_root() if seed is None else int(seed)
+    sequence = np.random.SeedSequence([root, int(shard_index)])
     return np.random.default_rng(sequence)
 
 
@@ -279,6 +303,9 @@ class ProcessBackend(Backend):
         #: Number of pools forked over this backend's lifetime; a map served
         #: without this increasing reused the persistent pool.
         self.fork_count = 0
+        #: Number of times a mid-map worker death was detected and the
+        #: in-flight items re-enqueued (see :meth:`_pooled_results`).
+        self.worker_revivals = 0
         _LIVE_BACKENDS.add(self)
 
     def map(self, fn, items, timer=None, stage=None) -> list:
@@ -333,16 +360,111 @@ class ProcessBackend(Backend):
             self.fork_count += 1
         _note_pool_owner(self)
         try:
-            return self._pool.map(
-                _run_pooled_task,
-                [(self._pool_token, item) for item in items],
-                chunksize=1,
-            )
+            return self._pooled_results(items)
         except BaseException:
             # A worker may have died mid-map (or the pool be otherwise
             # unusable); dispose it so the next map forks a clean one.
             self._dispose_pool()
             raise
+
+    def _pool_worker_pids(self) -> "set | None":
+        """Pids of the persistent pool's current workers.
+
+        Reads the pool's internal worker list (stable across CPython 3.x);
+        returns ``None`` when unavailable, which disables death detection
+        and degrades to the historical behaviour.
+        """
+        processes = getattr(self._pool, "_pool", None)
+        if processes is None:
+            return None
+        try:
+            return {process.pid for process in processes}
+        except Exception:  # pragma: no cover - exotic Pool internals
+            return None
+
+    def _pooled_results(self, items: list) -> list:
+        """Dispatch one map on the persistent pool, surviving worker deaths.
+
+        ``Pool.map`` blocks forever when a worker is killed mid-task: the
+        pool's maintainer thread re-forks a replacement worker (which
+        re-inherits this pool's callable through ``_POOL_TASKS``), but the
+        task that died with the worker is simply lost and its result never
+        arrives.  Items are therefore dispatched individually and watched:
+        when the pool's worker pid-set changes (a death was repaired), every
+        still-pending item is re-enqueued.  Duplicated execution is harmless
+        — tasks are pure, so whichever attempt completes first supplies the
+        value — and the queue join that used to hang can no longer occur.
+        """
+        token = self._pool_token
+        completion = threading.Event()
+
+        def submit(item):
+            return self._pool.apply_async(
+                _run_pooled_task,
+                ((token, item),),
+                callback=lambda _: completion.set(),
+                error_callback=lambda _: completion.set(),
+            )
+
+        results: list = [None] * len(items)
+        # Snapshot the worker pids *before* submitting: a worker killed while
+        # the submissions are still being enqueued must still register as
+        # churn on the first comparison, or its lost item would never be
+        # re-enqueued.
+        known_pids = self._pool_worker_pids()
+        pending: dict = {index: [submit(item)] for index, item in enumerate(items)}
+        # Bound on revival rounds within one map: a task that
+        # deterministically kills its worker (e.g. a reliable OOM) must
+        # surface as an error, not an infinite kill/refork/re-enqueue loop.
+        revival_budget = 2 * self.workers + 2
+        while pending:
+            progressed = False
+            for index in list(pending):
+                attempts = pending[index]
+                for attempt in list(attempts):
+                    if not attempt.ready():
+                        continue
+                    try:
+                        results[index] = attempt.get()
+                    except BaseException:
+                        # A re-enqueued duplicate may fail from conditions
+                        # the duplication itself created (e.g. memory
+                        # pressure); the error is only fatal once no other
+                        # attempt of this item can still deliver.
+                        attempts.remove(attempt)
+                        if not attempts:
+                            raise
+                        progressed = True
+                        continue
+                    del pending[index]
+                    progressed = True
+                    break
+            if not pending or progressed:
+                continue
+            # Any completion wakes the scan immediately; the timeout is the
+            # cadence of the worker-death check, not added result latency.
+            completion.wait(0.05)
+            completion.clear()
+            current_pids = self._pool_worker_pids()
+            if (
+                known_pids is not None
+                and current_pids is not None
+                and current_pids != known_pids
+            ):
+                # Worker churn: anything in flight on the dead worker was
+                # lost.  We cannot tell which items those were, so re-enqueue
+                # them all onto the repaired pool.
+                if revival_budget <= 0:
+                    raise RuntimeError(
+                        "process pool workers kept dying mid-map; giving up "
+                        f"after {2 * self.workers + 2} revival rounds"
+                    )
+                revival_budget -= 1
+                self.worker_revivals += 1
+                for index in pending:
+                    pending[index].append(submit(items[index]))
+                known_pids = current_pids
+        return results
 
     def _map_one_shot(self, fn, items: list) -> list:
         """Fork a single-use pool inheriting the callable *and* the items."""
@@ -397,6 +519,12 @@ def resolve_backend(backend=None, workers: "int | None" = None) -> Backend:
     if name is None:
         name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND_NAME
     name = str(name).strip().lower()
+    if name == "cluster" and name not in BACKENDS:
+        # The cluster backend lives in its own module (it pulls in the
+        # persistence layer for store-aware scheduling); importing it
+        # registers it into BACKENDS.
+        import repro.exec.cluster  # noqa: F401
+
     if name not in BACKENDS:
         raise ValueError(
             f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}"

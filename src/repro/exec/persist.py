@@ -469,6 +469,8 @@ class DiskArtifactStore:
             try:
                 stat = os.stat(path)
             except OSError:
+                # Includes FileNotFoundError: a concurrent evictor removed
+                # the entry between listdir and stat — already gone.
                 continue
             entries.append((path, stat.st_size, stat.st_atime))
         return entries
@@ -575,8 +577,8 @@ class DiskArtifactStore:
         """Remove every stored artefact; returns how many were removed."""
         removed = 0
         for path, _, _ in self._entries():
-            self._discard(path)
-            removed += 1
+            if self._discard(path):
+                removed += 1
         return removed
 
     def remove_kind(self, kind: str) -> int:
@@ -585,13 +587,23 @@ class DiskArtifactStore:
         removed = 0
         for path, _, _ in self._entries():
             if os.path.basename(path).startswith(prefix):
-                self._discard(path)
-                removed += 1
+                if self._discard(path):
+                    removed += 1
         return removed
 
     # -- eviction -----------------------------------------------------------
 
     def _evict_to_bound(self) -> None:
+        """Evict least-recently-used artefacts until the byte bound holds.
+
+        Several processes may share one cache directory (two stores, or two
+        cluster workers), so every file operation here races concurrent
+        evictors: an entry listed a moment ago may already be gone by the
+        time it is statted or unlinked.  Already-gone entries are treated
+        exactly like entries this store evicted itself — they stop counting
+        toward the bound — but only files *this* store actually removed are
+        counted as its evictions.
+        """
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
@@ -600,9 +612,15 @@ class DiskArtifactStore:
         for path, size, _ in sorted(entries, key=lambda entry: entry[2]):
             if total <= self.max_bytes:
                 break
-            self._discard(path)
-            self.stats.evictions += 1
-            total -= size
+            if self._discard(path):
+                self.stats.evictions += 1
+                total -= size
+            elif not os.path.exists(path):
+                # A concurrent evictor removed it first: the entry no longer
+                # occupies the directory, but it is not our eviction.
+                total -= size
+            # else: unremovable (e.g. permissions) — it still occupies the
+            # directory, so it must not be counted as freed space.
 
     @staticmethod
     def _touch(path: str) -> None:
@@ -616,8 +634,17 @@ class DiskArtifactStore:
             pass
 
     @staticmethod
-    def _discard(path: str) -> None:
+    def _discard(path: str) -> bool:
+        """Remove ``path``; ``False`` when it was already gone or unremovable.
+
+        A missing file is the expected outcome of losing a race with a
+        concurrent evictor (another process sharing the directory) and must
+        never surface as :class:`FileNotFoundError` to a caller.
+        """
         try:
             os.remove(path)
+        except FileNotFoundError:
+            return False  # a concurrent evictor got there first
         except OSError:
-            pass
+            return False
+        return True

@@ -237,10 +237,10 @@ class RenderEngine:
             methods memoise results for callers that supply a ``scene_key``.
         backend: execution backend for independent ray chunks — a
             :class:`repro.exec.backends.Backend` instance, a backend name
-            (``"serial"`` / ``"thread"`` / ``"process"``), or ``None`` to
-            consult the ``REPRO_BACKEND`` environment variable.  Chunks are
-            pure and assembled in order, so every backend renders
-            bit-identical images.
+            (``"serial"`` / ``"thread"`` / ``"process"`` / ``"cluster"``),
+            or ``None`` to consult the ``REPRO_BACKEND`` environment
+            variable.  Chunks are pure and assembled in order, so every
+            backend renders bit-identical images.
     """
 
     def __init__(
@@ -287,20 +287,34 @@ class RenderEngine:
         finally:
             self._stage_timer, self._stage_name = previous
 
-    def _map_chunks(self, process, starts) -> list:
+    def _map_chunks(self, process, starts, num_items: "int | None" = None) -> list:
         """Map ``process`` over chunk starts via the execution backend.
 
         ``process(start)`` must be a pure function of its chunk (no writes
         to shared state — with the process backend they would be lost in the
         worker); results come back in chunk order for deterministic
         assembly.  Worker-side task time lands on the stage configured via
-        :meth:`attribute`, when one is active.
+        :meth:`attribute`, when one is active.  ``num_items`` (the ray count
+        behind the chunk starts) lets a cost-hinted backend — the cluster's
+        shard planner — weigh the short tail chunk correctly instead of
+        assuming uniform chunks.
         """
+        starts = list(starts)
+        map_kwargs = {}
+        if (
+            num_items is not None
+            and len(starts) > 1
+            and getattr(self.backend, "supports_cost_hints", False)
+        ):
+            map_kwargs["costs"] = [
+                float(min(self.chunk_rays, num_items - start)) for start in starts
+            ]
         return self.backend.map(
             process,
-            list(starts),
+            starts,
             timer=self._stage_timer,
             stage=self._stage_name,
+            **map_kwargs,
         )
 
     def _cached_views(self, cameras, scene_key, quality_key, render_batch):
@@ -368,7 +382,7 @@ class RenderEngine:
                 hit_epsilon,
             )
 
-        parts = self._map_chunks(process, starts)
+        parts = self._map_chunks(process, starts, num_items=num_rays)
         return (
             np.concatenate([part[0] for part in parts]),
             np.concatenate([part[1] for part in parts]),
@@ -645,7 +659,7 @@ class RenderEngine:
                 return start, ray_alpha, hit_rows, chunk_rgb, chunk_depth
 
             chunk_results = self._map_chunks(
-                process, range(0, num_rays, self.chunk_rays)
+                process, range(0, num_rays, self.chunk_rays), num_items=num_rays
             )
             for start, ray_alpha, hit_rows, chunk_rgb, chunk_depth in chunk_results:
                 alpha[start : start + ray_alpha.shape[0]] = ray_alpha
@@ -800,7 +814,9 @@ class RenderEngine:
             return ray_ids[hit_rows], sampled, t_entry
 
         chunk_results = self._map_chunks(
-            process, range(0, candidates.size, self.chunk_rays)
+            process,
+            range(0, candidates.size, self.chunk_rays),
+            num_items=int(candidates.size),
         )
         for result in chunk_results:
             if result is None:

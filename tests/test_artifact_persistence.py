@@ -306,6 +306,84 @@ class TestEviction:
             DiskArtifactStore(str(tmp_path), max_bytes=0)
 
 
+class TestConcurrentEviction:
+    """Two stores sharing one directory must race-tolerantly co-evict.
+
+    Regression for the cross-process eviction race: a stat or unlink on an
+    entry another store just evicted must be treated as already-gone —
+    never surface as :class:`FileNotFoundError` — and a store must only
+    count evictions it actually performed.
+    """
+
+    def _filled_store(self, root, files: int = 6) -> DiskArtifactStore:
+        store = DiskArtifactStore(str(root), max_bytes=1 << 30)
+        for index in range(files):
+            store.put(("profile", "race", index), make_profile())
+            time.sleep(0.01)
+        return store
+
+    def test_entry_vanishing_mid_eviction_is_already_gone(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        one_file = store.size_bytes() // 6
+        store.max_bytes = 2 * one_file
+        # Simulate a concurrent evictor winning the race: the LRU-oldest
+        # entries disappear after this store listed them.
+        for path, _, _ in sorted(store._entries(), key=lambda entry: entry[2])[:3]:
+            os.remove(path)
+        store._evict_to_bound()  # must not raise
+        assert store.size_bytes() <= store.max_bytes
+        # Three entries remained (3 files x size), the bound holds two, so
+        # exactly one eviction was actually performed by this store — the
+        # three that vanished under it are not counted.
+        assert store.stats.evictions == 1
+        assert len(store) == 2
+
+    def test_discard_reports_already_gone(self, tmp_path):
+        store = self._filled_store(tmp_path, files=1)
+        (path, _, _) = store._entries()[0]
+        assert store._discard(path) is True
+        assert store._discard(path) is False  # already gone, not an error
+
+    def test_clear_counts_only_actual_removals(self, tmp_path):
+        store = self._filled_store(tmp_path, files=3)
+        victim = store._entries()[0][0]
+        os.remove(victim)
+        assert store.clear() == 2
+
+    def test_two_stores_evicting_concurrently(self, tmp_path):
+        first = self._filled_store(tmp_path, files=8)
+        one_file = first.size_bytes() // 8
+        bound = 3 * one_file
+        first.max_bytes = bound
+        second = DiskArtifactStore(str(tmp_path), max_bytes=bound)
+        errors = []
+
+        def hammer(store, worker):
+            try:
+                for index in range(12):
+                    store.put(("profile", "hammer", worker, index), make_profile())
+                    store._evict_to_bound()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        import threading
+
+        threads = [
+            threading.Thread(target=hammer, args=(store, worker))
+            for worker, store in enumerate([first, second])
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Both stores stayed usable and the directory respects the bound
+        # once the dust settles (each store enforces it independently).
+        first._evict_to_bound()
+        assert first.size_bytes() <= bound
+        assert first.stats.evictions + second.stats.evictions > 0
+
+
 # ---------------------------------------------------------------------------
 # Two-level store semantics
 # ---------------------------------------------------------------------------

@@ -18,10 +18,12 @@ from repro.device.models import DeviceProfile
 from repro.exec import (
     ArtifactStore,
     BACKENDS,
+    ClusterBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     fork_available,
+    fresh_seed_root,
     resolve_backend,
     shard_rng,
 )
@@ -30,7 +32,12 @@ from repro.render import RenderEngine
 from repro.scenes.cameras import orbit_cameras
 from repro.utils.timing import StageTimer, Timer
 
-ALL_BACKENDS = [SerialBackend(), ThreadBackend(workers=3), ProcessBackend(workers=2)]
+ALL_BACKENDS = [
+    SerialBackend(),
+    ThreadBackend(workers=3),
+    ProcessBackend(workers=2),
+    ClusterBackend(workers=2),
+]
 
 
 def backend_id(backend):
@@ -121,7 +128,8 @@ class TestBackendMap:
         assert resolve_backend("serial").name == "serial"
         assert resolve_backend("thread", workers=5).workers == 5
         assert resolve_backend("process", workers=3).workers == 3
-        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert resolve_backend("cluster", workers=2).workers == 2
+        assert set(BACKENDS) == {"serial", "thread", "process", "cluster"}
 
     def test_explicit_single_worker_is_honoured(self):
         # workers=1 is a real request (bounds even the process pool to one
@@ -168,10 +176,30 @@ class TestShardRng:
         }
         assert len(set(draws.values())) == len(draws)
 
-    def test_none_seed_matches_zero(self):
-        assert np.array_equal(
-            shard_rng(None, 2).integers(0, 100, 3), shard_rng(0, 2).integers(0, 100, 3)
+    def test_none_seed_does_not_alias_seed_zero(self):
+        # Regression: seed=None used to silently alias seed=0, so
+        # "nondeterministic" callers collided with the deterministic
+        # seed-0 stream.  128-bit OS entropy makes a collision on a
+        # 40-value draw vanishingly improbable.
+        assert not np.array_equal(
+            shard_rng(None, 2).integers(0, 10**9, 40),
+            shard_rng(0, 2).integers(0, 10**9, 40),
         )
+
+    def test_none_seed_is_fresh_per_call(self):
+        assert not np.array_equal(
+            shard_rng(None, 2).integers(0, 10**9, 40),
+            shard_rng(None, 2).integers(0, 10**9, 40),
+        )
+
+    def test_fresh_root_restores_per_map_determinism(self):
+        # The supported pattern for nondeterministic-but-shard-invariant
+        # maps: draw one root per map, derive every shard stream from it.
+        root = fresh_seed_root()
+        assert root != fresh_seed_root()
+        a = shard_rng(root, 3).integers(0, 10**9, 8)
+        b = shard_rng(root, 3).integers(0, 10**9, 8)
+        assert np.array_equal(a, b)
 
 
 # ---------------------------------------------------------------------------
@@ -496,6 +524,42 @@ class TestPersistentPool:
             assert backend.fork_count == forks_before
             assert [v for _, v in backend.map(_pooled_pid_task, [5, 6])] == [15, 18]
             assert backend.fork_count == forks_before
+        finally:
+            backend.shutdown()
+
+    def test_killed_worker_mid_map_does_not_hang(self, tmp_path):
+        """Regression: a SIGKILLed pool worker used to hang the map forever.
+
+        ``Pool``'s maintainer thread re-forks a replacement worker, but the
+        task that died with the worker was lost and the queue join never
+        completed.  The backend now detects the worker churn and re-enqueues
+        the in-flight items.
+        """
+        import signal
+        import threading
+
+        sentinel = tmp_path / "killed-once"
+
+        def task(item):
+            if item == "kill" and not sentinel.exists():
+                sentinel.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return ("ok", item)
+
+        backend = ProcessBackend(workers=2)
+        items = [0, 1, "kill", 3, 4, 5, 6, 7]
+        outcome = {}
+
+        def run():
+            outcome["results"] = backend.map(task, items)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "pooled map hung after a worker kill"
+            assert outcome["results"] == [("ok", item) for item in items]
+            assert backend.worker_revivals >= 1
         finally:
             backend.shutdown()
 
