@@ -15,11 +15,21 @@ Runtime control:
   shorter FPS traces) when iterating on the benchmarks locally;
 * every test in this directory carries the ``figure`` marker, so
   ``pytest -m "not figure"`` runs only the unit tiers.
+
+Every benchmark session also emits a machine-readable trajectory,
+``BENCH_<suite>.json`` (suite = ``quick`` / ``figures`` /
+``$REPRO_BENCH_SUITE``; directory = ``$REPRO_BENCH_DIR`` or the cwd):
+wall-clock per figure/table test, the resolved backend / transport /
+worker count, and the session's artifact-store hit rates — so the perf
+history in EXPERIMENTS.md is backed by data CI archives on every run
+instead of living only as prose.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -100,6 +110,98 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if os.path.abspath(str(item.fspath)).startswith(benchmarks_dir + os.sep):
             item.add_marker(pytest.mark.figure)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark trajectories (BENCH_<suite>.json)
+# ---------------------------------------------------------------------------
+
+#: Per-test call-phase records of this session's benchmarks, in run order.
+_BENCH_RECORDS: list = []
+
+#: The session harness, stashed by the fixture so the session-finish hook
+#: can read the artifact-store statistics after the run.
+_SESSION_HARNESS: dict = {}
+
+_BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _bench_suite_name() -> str:
+    explicit = os.environ.get("REPRO_BENCH_SUITE")
+    if explicit:
+        return explicit
+    return "quick" if QUICK_MODE else "figures"
+
+
+def pytest_runtest_logreport(report):
+    # Only the benchmarks' call phase belongs in the trajectory (setup of
+    # the session fixtures is amortised and reported per first user).
+    if report.when != "call":
+        return
+    # Node ids are rootdir-relative with forward slashes regardless of the
+    # invocation directory, unlike ``report.fspath``.
+    path_part = report.nodeid.split("::")[0]
+    if os.path.basename(_BENCHMARKS_DIR) not in path_part.split("/"):
+        return
+    _BENCH_RECORDS.append(
+        {
+            "nodeid": report.nodeid,
+            "file": os.path.basename(path_part),
+            "outcome": report.outcome,
+            "seconds": round(float(report.duration), 3),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return  # no benchmark ran in this session (e.g. unit-tier only)
+    from repro.exec import resolve_backend
+
+    try:
+        backend = resolve_backend(None)
+        backend_info = {
+            "name": backend.name,
+            "workers": backend.workers,
+            "transport": getattr(
+                getattr(backend, "transport", None), "name", None
+            ),
+        }
+    except ValueError as error:  # unknown REPRO_BACKEND: record, don't crash
+        backend_info = {"error": str(error)}
+    harness = _SESSION_HARNESS.get("instance")
+    store_info = None
+    if harness is not None:
+        store = harness.artifacts
+        store_info = store.stats_summary()
+        store_info["disk"] = (
+            None if store.disk is None else store.disk.stats.as_dict()
+        )
+    payload = {
+        "suite": _bench_suite_name(),
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "exit_status": int(exitstatus),
+        "quick_mode": QUICK_MODE,
+        "full_sweep": FULL_SWEEP,
+        "scene_indices": list(SCENE_INDICES),
+        "backend": backend_info,
+        "total_seconds": round(
+            sum(record["seconds"] for record in _BENCH_RECORDS), 3
+        ),
+        "artifact_store": store_info,
+        "tests": list(_BENCH_RECORDS),
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    out_path = os.path.join(out_dir, f"BENCH_{payload['suite']}.json")
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:  # pragma: no cover - unwritable bench dir
+        print(f"\n[bench trajectory] could not write {out_path}: {error}")
+        return
+    print(f"\n[bench trajectory] {len(_BENCH_RECORDS)} records -> {out_path}")
 
 #: Simulated scenes used by the overall-performance benchmarks.  The default
 #: single-scene subset keeps the suite tractable on one CPU core; set
@@ -349,6 +451,7 @@ class ReproductionHarness:
 @pytest.fixture(scope="session")
 def harness():
     instance = ReproductionHarness()
+    _SESSION_HARNESS["instance"] = instance
     yield instance
     store = instance.artifacts
     summary = store.stats_summary()

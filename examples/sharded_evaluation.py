@@ -1,16 +1,21 @@
-"""Sharded scene evaluation: the cluster backend, worker by worker.
+"""Sharded scene evaluation: the cluster backend, transport by transport.
 
 The paper's per-object decomposition makes every heavy pipeline stage
 shardable: profile fits shard by object, bake geometry by sub-model and
 deploy ray marching by chunk.  This example runs the same staged pipeline
 under the serial reference and then under the cluster backend with
-increasing worker counts, verifying along the way that every run is
-**bit-identical** (sharding is a pure scheduling decision, never a
-numerical one) and printing the wall-clock split plus the cluster's
-scheduling statistics (shards planned/dispatched, speculative steals,
-store-discounted items).
+increasing worker counts — on both worker transports — verifying along
+the way that every run is **bit-identical** (sharding and transport are
+pure scheduling decisions, never numerical ones) and printing the
+wall-clock split plus the cluster's scheduling statistics: shards
+planned/dispatched, speculative steals, store-discounted items, and the
+worker-lifecycle counters of the tentpole — daemons spawned vs *reused*
+across the pipeline's consecutive maps through the host's callable-token
+registry.
 
 Run with:  python examples/sharded_evaluation.py
+Set REPRO_TRANSPORT=tcp to run every cluster pass on loopback-TCP workers
+(the multi-machine-shaped wire protocol) instead of socketpair+fork.
 Set REPRO_ARTIFACT_DIR=... to share an on-disk artifact store with the
 workers — already-persisted profiles and bakes then show up as cheap
 shards in the planner and are loaded, not recomputed, inside the workers.
@@ -89,14 +94,25 @@ def main() -> None:
         backend = ClusterBackend(workers=workers)
         record, elapsed, report = run_once(backend, dataset)
         identical = "bit-identical" if record == reference else "MISMATCH"
-        print(f"\ncluster({workers}): {elapsed:.1f}s  [{identical} vs serial]")
+        print(
+            f"\ncluster({workers}) over {backend.transport.describe()}: "
+            f"{elapsed:.1f}s  [{identical} vs serial]"
+        )
         stats = backend.stats
+        host = backend.host
         print(
             f"  shards: {stats.shards_planned} planned, "
             f"{stats.shards_dispatched} dispatched "
             f"({stats.speculative_dispatches} speculative steals), "
-            f"{stats.workers_spawned} workers spawned, "
             f"{stats.serial_fallbacks} small maps ran inline"
+        )
+        print(
+            f"  worker lifecycle: {stats.workers_spawned} daemons spawned over "
+            f"{stats.task_registrations} task registrations, "
+            f"{stats.workers_reused} daemon-reuses across {stats.maps} maps "
+            f"({stats.maps_reusing_daemons} maps respawned nothing; "
+            f"host lifetime: {host.spawn_count} spawns, "
+            f"{host.reused_maps} fully reused maps)"
         )
         if stats.store_cheap_items:
             print(f"  store-aware planning: {stats.store_cheap_items} cheap items")
@@ -111,6 +127,7 @@ def main() -> None:
         )
         if worker_parts:
             print(f"  worker-side: {worker_parts}")
+        backend.shutdown()
 
 
 if __name__ == "__main__":

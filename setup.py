@@ -1,2 +1,27 @@
-from setuptools import setup
-setup()
+"""Packaging metadata for the NeRFlex reproduction.
+
+``pip install -e .`` makes ``import repro`` work without ``PYTHONPATH=src``
+(the layout is a standard ``src/`` tree discovered by setuptools).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="nerflex-repro",
+    version="0.5.0",
+    description=(
+        "Reproduction of NeRFlex (ICDCS): profile-guided multi-NeRF "
+        "decomposition for on-device rendering, with a sharded, "
+        "artifact-cached execution layer"
+    ),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -94,6 +94,11 @@ class PipelineConfig:
             shards stage work (objects for profile/bake, ray chunks for
             deploy) across worker daemons — see :mod:`repro.exec.cluster`;
             every backend produces bit-identical pipeline output.
+        transport: worker-transport name for the daemon-backed backends
+            (``"fork"`` — socketpair + fork, the default — or ``"tcp"`` —
+            loopback TCP workers, the multi-machine-shaped wire protocol);
+            ``None`` consults ``REPRO_TRANSPORT``.  Ignored by in-process
+            backends; every transport produces bit-identical output.
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -111,6 +116,7 @@ class PipelineConfig:
     render_chunk_rays: int = 8192
     render_workers: "int | None" = None
     backend: "str | None" = None
+    transport: "str | None" = None
 
 
 @dataclass
@@ -166,6 +172,9 @@ class DeploymentReport:
     selection: "SelectionResult | None" = None
     overhead_seconds: dict = field(default_factory=dict)
     backend_name: str = ""
+    #: Worker-transport name of a daemon-backed backend (``"fork"`` /
+    #: ``"tcp"``); empty for the in-process backends.
+    transport_name: str = ""
     stage_seconds: dict = field(default_factory=dict)
     worker_seconds: dict = field(default_factory=dict)
     #: Snapshot of the pipeline's artifact-store statistics at deploy time
@@ -194,6 +203,13 @@ class DeploymentReport:
                 k: round(v, 1) for k, v in self.per_object_size_mb.items()
             },
         }
+
+
+def _bake_geometry_task(task: tuple):
+    """Voxelise one field at one granularity (module-level, so its callable
+    identity is stable across maps and pipelines — bake maps on every
+    pipeline reuse the same worker daemons instead of respawning them)."""
+    return bake_geometry(task[1], task[2])
 
 
 def object_evaluation_cameras(dataset, resolution: int = 128) -> dict:
@@ -379,9 +395,13 @@ class NeRFlexPipeline:
         )
         self.measurement_cache = measurement_cache if measurement_cache is not None else {}
         self.artifacts = artifacts
+        #: Stable-identity task callable of the object-sharded profile
+        #: stage, for the most recent dataset (see :meth:`_sharded_fit_task`).
+        self._sharded_fit_task_cache: "tuple | None" = None
         self.backend = resolve_backend(
             backend if backend is not None else self.config.backend,
             workers=self.config.render_workers,
+            transport=self.config.transport,
         )
         # Store-aware scheduling: a cost-hinted backend (the cluster) shares
         # this pipeline's on-disk artifact tier, so its planner can mark
@@ -592,13 +612,48 @@ class NeRFlexPipeline:
         sibling schedulers see them immediately.  Tasks are pure functions
         of their sub-scene, so results are bit-identical to the in-process
         path for any worker or shard count.
+
+        The task callable is memoised per dataset (see
+        :meth:`_sharded_fit_task`) so its identity qualifies for the
+        worker host's daemon reuse — which engages only when the entries
+        also pickle.  The library's built-in scenes close over local SDF
+        functions, so their profile maps ride the fork image on one-shot
+        daemons (the same per-map fork as before this refactor); scenes
+        built from picklable fields get daemon reuse for free.
         """
-        store = getattr(self.backend, "store", None)
+        return self.backend.map(
+            self._sharded_fit_task(dataset),
+            pending,
+            timer=timers,
+            stage="profiler",
+            costs=[self._profile_cost(dataset, entry[0]) for entry in pending],
+            cost_keys=[entry[3] for entry in pending],
+        )
+
+    def _sharded_fit_task(self, dataset):
+        """The object-sharded profile task, with a stable callable identity.
+
+        Worker-daemon reuse keys on callable identity (the
+        :class:`~repro.exec.worker.WorkerHost` token registry): a fresh
+        closure per map would force a re-registration — and, on fork-image
+        transports, a respawn — every time.  Stable identity is necessary
+        but not sufficient: maps whose entries do not pickle (scenes with
+        closure SDFs) take the host's one-shot path regardless.  One
+        entry suffices (pipelines profile one dataset at a time) and
+        keeps a dataset swap from pinning every previous dataset in
+        memory.  The shared store is looked up through the backend *at
+        task time* so a store wired after the first map is still honoured.
+        """
+        if self._sharded_fit_task_cache is not None:
+            cached_dataset, task = self._sharded_fit_task_cache
+            if cached_dataset is dataset:
+                return task
         config_space = self.config.config_space
         pipeline = self
 
         def fit_task(entry):
             sub_scene, truth, field_model, artifact_key = entry
+            store = getattr(pipeline.backend, "store", None)
             if store is not None:
                 cached = store.get(artifact_key)
                 if cached is not None:
@@ -609,14 +664,8 @@ class NeRFlexPipeline:
                 store.put(artifact_key, profile)
             return profile
 
-        return self.backend.map(
-            fit_task,
-            pending,
-            timer=timers,
-            stage="profiler",
-            costs=[self._profile_cost(dataset, entry[0]) for entry in pending],
-            cost_keys=[entry[3] for entry in pending],
-        )
+        self._sharded_fit_task_cache = (dataset, fit_task)
+        return fit_task
 
     def _profile_artifact_key(self, dataset, sub_scene: SubScene, field_model) -> tuple:
         """Content-addressed artifact key of one sub-scene's profile curves."""
@@ -816,7 +865,7 @@ class NeRFlexPipeline:
                         float(granularity) ** 3 for _, _, granularity in tasks
                     ]
                 computed = self.backend.map(
-                    lambda task: bake_geometry(task[1], task[2]),
+                    _bake_geometry_task,
                     tasks,
                     timer=timers,
                     stage="bake",
@@ -945,6 +994,9 @@ class NeRFlexPipeline:
                 engine=self.engine,
                 backend_name=self.backend.name,
             )
+        report.transport_name = getattr(
+            getattr(self.backend, "transport", None), "name", ""
+        )
         if preparation is not None:
             report.overhead_seconds = preparation.overhead_seconds
             report.stage_seconds = preparation.stage_seconds

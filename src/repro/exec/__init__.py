@@ -1,12 +1,16 @@
-"""Execution layer: pluggable backends and the content-addressed artefact store.
+"""Execution layer: pluggable backends, transports and the artefact store.
 
 See :mod:`repro.exec.backends` for the serial / thread / process execution
 backends behind every bulk workload, :mod:`repro.exec.cluster` for the
-shard-planned cluster backend over worker daemons, :mod:`repro.exec.
-artifacts` for the two-level store that lets staged pipeline runs reuse
-profile curves and baked models across devices, selectors and repeated
-``prepare()`` calls, and :mod:`repro.exec.persist` for the on-disk tier
-that extends that reuse across invocations (``$REPRO_ARTIFACT_DIR``).
+shard-planned cluster backend, :mod:`repro.exec.worker` for the persistent
+worker-daemon lifecycle both parallel backends share,
+:mod:`repro.exec.transport` for the pluggable worker transports
+(socketpair+fork and loopback TCP) and the length-prefixed wire protocol,
+:mod:`repro.exec.artifacts` for the two-level store that lets staged
+pipeline runs reuse profile curves and baked models across devices,
+selectors and repeated ``prepare()`` calls, and :mod:`repro.exec.persist`
+for the on-disk tier that extends that reuse across invocations
+(``$REPRO_ARTIFACT_DIR``).
 """
 
 from repro.exec.artifacts import ArtifactStats, ArtifactStore, create_artifact_store
@@ -21,6 +25,7 @@ from repro.exec.backends import (
     fork_available,
     fresh_seed_root,
     in_worker_process,
+    known_backend_names,
     resolve_backend,
     shard_rng,
     shutdown_process_pools,
@@ -29,7 +34,6 @@ from repro.exec.cluster import (
     ClusterBackend,
     ClusterStats,
     ClusterTaskError,
-    Shard,
     ShardPlanner,
     store_aware_costs,
 )
@@ -39,6 +43,22 @@ from repro.exec.persist import (
     DiskStoreStats,
     artifact_dir_from_env,
     default_artifact_dir,
+)
+from repro.exec.transport import (
+    DEFAULT_TRANSPORT_NAME,
+    ForkSocketpairTransport,
+    TRANSPORT_ENV_VAR,
+    TRANSPORTS,
+    TcpTransport,
+    Transport,
+    resolve_transport,
+)
+from repro.exec.worker import (
+    HostRunReport,
+    Shard,
+    WorkerHost,
+    WorkerTaskError,
+    shutdown_worker_hosts,
 )
 
 __all__ = [
@@ -52,21 +72,33 @@ __all__ = [
     "ClusterStats",
     "ClusterTaskError",
     "DEFAULT_BACKEND_NAME",
+    "DEFAULT_TRANSPORT_NAME",
     "DiskArtifactStore",
     "DiskStoreStats",
+    "ForkSocketpairTransport",
+    "HostRunReport",
     "ProcessBackend",
     "SerialBackend",
     "Shard",
     "ShardPlanner",
+    "TRANSPORT_ENV_VAR",
+    "TRANSPORTS",
+    "TcpTransport",
     "ThreadBackend",
+    "Transport",
+    "WorkerHost",
+    "WorkerTaskError",
     "artifact_dir_from_env",
     "create_artifact_store",
     "default_artifact_dir",
     "fork_available",
     "fresh_seed_root",
     "in_worker_process",
+    "known_backend_names",
     "resolve_backend",
+    "resolve_transport",
     "shard_rng",
     "shutdown_process_pools",
+    "shutdown_worker_hosts",
     "store_aware_costs",
 ]

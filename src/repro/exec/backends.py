@@ -3,7 +3,7 @@
 Every embarrassingly parallel workload in the reproduction — ray chunks in
 :class:`repro.render.RenderEngine`, profiler measurements, per-object bake
 geometry, baseline evaluation — is expressed as an ordered ``map(fn, items)``
-and routed through one of three interchangeable backends:
+and routed through one of the interchangeable backends:
 
 * :class:`SerialBackend` — a plain in-process loop; the bit-identical
   reference every other backend is pinned against.
@@ -11,46 +11,54 @@ and routed through one of three interchangeable backends:
   fan-out (the engine's historical ``workers`` knob).  Threads share memory,
   so tasks may mutate caller state, but the Python-heavy marcher loops are
   GIL-bound and only numpy-releasing sections overlap.
-* :class:`ProcessBackend` — a ``fork``-based process pool that sidesteps the
-  GIL entirely.  Workers inherit the parent's memory image, so the task
-  callable is **never pickled** (closures over scenes, SDF lambdas and lazy
-  textures all work).  The pool is persistent: consecutive maps with the
-  same callable reuse the forked workers (items then cross the task queue
-  pickled); a new callable re-forks, and maps whose items do not pickle
-  fall back to a one-shot fork that inherits the items by memory image too.
-  Task side effects (cache writes) stay in the worker and are re-applied by
-  the caller from the returned values.
+* :class:`ProcessBackend` — true multi-core execution on persistent worker
+  daemons, one item per shard.  The daemons are owned by a
+  :class:`~repro.exec.worker.WorkerHost` over a pluggable
+  :class:`~repro.exec.transport.Transport` (socketpair+fork by default,
+  loopback TCP via ``REPRO_TRANSPORT=tcp``): consecutive maps with the
+  same callable reuse the live daemons (items then cross the wire
+  pickled); a new callable re-registers — respawning only when the
+  transport cannot ship the callable — and maps whose items do not pickle
+  take a one-shot path that inherits callable *and* items by fork memory
+  image (closures over scenes, SDF lambdas and lazy textures all work).
+  Task side effects (cache writes) stay in the worker and are re-applied
+  by the caller from the returned values.
 
 Backends are selected by name — ``PipelineConfig.backend``, the
 ``REPRO_BACKEND`` environment variable, or :func:`resolve_backend` directly.
-All three produce bit-identical results for the workloads they run (pinned
-in ``tests/test_exec_backends.py``): tasks are pure functions of their item
-and results are assembled in item order.  Every task currently shipped is
-fully deterministic; should a future workload need randomness, it must
-derive its stream from :func:`shard_rng` — a pure function of
+All backends produce bit-identical results for the workloads they run
+(pinned in ``tests/test_exec_backends.py``): tasks are pure functions of
+their item and results are assembled in item order.  Every task currently
+shipped is fully deterministic; should a future workload need randomness,
+it must derive its stream from :func:`shard_rng` — a pure function of
 ``(seed, shard_index)`` for integer seeds — so the draw never depends on
 which worker (or in which order) a shard executes.
 
 A fourth backend, :class:`repro.exec.cluster.ClusterBackend` (name
-``"cluster"``), executes cost-weighted shards on worker daemons behind a
-length-prefixed socket protocol — see :mod:`repro.exec.cluster`.  It
-registers itself into :data:`BACKENDS` on import; :func:`resolve_backend`
-imports it lazily when the name is requested.
+``"cluster"``), schedules cost-weighted shards — with store-aware placement
+and straggler stealing — on the same worker-host machinery; see
+:mod:`repro.exec.cluster`.  It registers itself into :data:`BACKENDS` on
+import; :func:`resolve_backend` imports it lazily when the name is
+requested.
 """
 
 from __future__ import annotations
 
-import atexit
-import itertools
-import multiprocessing
 import os
-import pickle
-import threading
 import time
-import weakref
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
+
+from repro.exec.transport import (  # noqa: F401  (re-exported API)
+    fork_available,
+    in_worker_process,
+)
+from repro.exec.worker import (
+    Shard,
+    WorkerHost,
+    shutdown_worker_hosts,
+)
 
 #: Environment variable that overrides the default backend selection.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -95,15 +103,9 @@ def shard_rng(seed: "int | None", shard_index: int) -> np.random.Generator:
     return np.random.default_rng(sequence)
 
 
-def fork_available() -> bool:
-    """Whether this platform supports the ``fork`` start method."""
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def in_worker_process() -> bool:
-    """Whether the current process is a pool worker (workers must not fork)."""
-    process = multiprocessing.current_process()
-    return bool(process.daemon) or process.name != "MainProcess"
+#: Backward-compatible name: shutting down "process pools" now means
+#: shutting down the worker hosts both parallel backends run on.
+shutdown_process_pools = shutdown_worker_hosts
 
 
 class Backend:
@@ -119,6 +121,9 @@ class Backend:
 
     name = "base"
     workers = 1
+    #: Whether the constructor accepts a ``transport=`` argument (the
+    #: worker-host backends); consulted by :func:`resolve_backend`.
+    accepts_transport = False
 
     def map(self, fn, items, timer=None, stage=None) -> list:
         raise NotImplementedError
@@ -174,322 +179,84 @@ class ThreadBackend(Backend):
         return _credit(timer, stage, pairs)
 
 
-#: Task state inherited by forked workers (set immediately before the fork).
-#: Because workers are forked *after* these are assigned, the callable and
-#: its items travel by memory image, never through pickle.  ``_FORK_LOCK``
-#: serialises whole ``map`` calls: two threads mapping concurrently would
-#: otherwise overwrite each other's task state, and the globals must stay
-#: valid for the pool's entire lifetime (a pool that replaces a dead worker
-#: re-forks mid-map and must still see this map's task state).
-_TASK_FN = None
-_TASK_ITEMS: "list | None" = None
-_FORK_LOCK = threading.Lock()
-
-#: Task callables of the *persistent* pools, keyed by a per-pool token.
-#: Entries are added immediately before the pool is forked (so workers
-#: inherit them by memory image) and removed only when the pool is disposed
-#: — therefore a replacement worker re-forked by a live pool at any later
-#: time still finds its own pool's callable under its token, even after
-#: other pools have come and gone.
-_POOL_TASKS: dict = {}
-_POOL_TOKENS = itertools.count()
-
-#: Live backends with persistent pools, for interpreter-exit cleanup.
-_LIVE_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
-
-#: Bound on concurrently *live* persistent pools across all backend
-#: instances.  Pipelines, engines and baselines each resolve their own
-#: backend; without a bound, every instance's last pool would idle until
-#: interpreter exit (workers each pinning a copy-on-write image of the
-#: parent).  Pools are disposed least-recently-used beyond this.
-_MAX_LIVE_POOLS = 2
-
-#: Backends owning live pools, oldest first (weakrefs; callers hold
-#: ``_FORK_LOCK``).
-_POOL_OWNERS: list = []
-
-
-def _note_pool_owner(backend) -> None:
-    """Mark ``backend``'s pool most-recently-used; evict idle pools beyond
-    the global bound.  Caller holds ``_FORK_LOCK``, so no evicted pool can
-    have a map in flight."""
-    _POOL_OWNERS[:] = [
-        ref
-        for ref in _POOL_OWNERS
-        if ref() is not None and ref() is not backend and ref()._pool is not None
-    ]
-    _POOL_OWNERS.append(weakref.ref(backend))
-    while len(_POOL_OWNERS) > _MAX_LIVE_POOLS:
-        oldest = _POOL_OWNERS.pop(0)()
-        if oldest is not None:
-            oldest._dispose_pool()
-
-
-def shutdown_process_pools() -> None:
-    """Shut down every live :class:`ProcessBackend` pool (atexit hook)."""
-    for backend in list(_LIVE_BACKENDS):
-        backend.shutdown()
-
-
-atexit.register(shutdown_process_pools)
-
-
-def _run_forked_task(index: int) -> tuple:
-    """Execute one inherited task in a forked worker; time it locally."""
-    start = time.perf_counter()
-    result = _TASK_FN(_TASK_ITEMS[index])
-    return time.perf_counter() - start, result
-
-
-def _reap_pool(pool, token) -> None:
-    """Terminate a persistent pool and drop its task registration.
-
-    Module-level so :func:`weakref.finalize` can run it when a backend is
-    garbage-collected without an explicit :meth:`ProcessBackend.shutdown`.
-    """
-    pool.terminate()
-    pool.join()
-    _POOL_TASKS.pop(token, None)
-
-
-def _run_pooled_task(payload: tuple) -> tuple:
-    """Execute one task in a persistent-pool worker; time it locally.
-
-    The item arrives pickled through the task queue; the callable was
-    inherited by memory image when the pool was forked and is looked up by
-    its pool token.
-    """
-    token, item = payload
-    start = time.perf_counter()
-    result = _POOL_TASKS[token](item)
-    return time.perf_counter() - start, result
-
-
 class ProcessBackend(Backend):
-    """Fork-based process pool: true multi-core execution of Python tasks.
+    """Persistent worker daemons: true multi-core execution of Python tasks.
 
     Sharding contract: tasks must be pure functions of their item (caller
     state mutated inside a worker is lost — callers re-apply side effects
     from the returned values), return values must pickle, and any
     randomness must come from :func:`shard_rng` keyed by the item index.
 
-    The pool is **persistent**: the first map forks ``workers`` children
-    that inherit the task callable by memory image, and consecutive maps
-    with the *same* callable reuse them — items cross the task queue
-    pickled, results come back pickled, and nothing is re-forked.  A map
-    with a different callable disposes the pool and forks a fresh one (the
-    callable itself can only travel by fork).  Maps whose items do not
-    pickle take the one-shot fork path instead, inheriting both callable
-    and items by memory image exactly as before; the persistent pool is
-    left intact for the next reusable map.  :meth:`shutdown` (also run at
-    interpreter exit) reaps the children.
+    The backend is the degenerate one-shard-per-item case of the shared
+    :class:`~repro.exec.worker.WorkerHost`: every item is its own shard,
+    dispatched pull-based to whichever daemon is idle.  Daemons are
+    **persistent** — consecutive maps with the *same* callable reuse them
+    (items cross the wire pickled, results come back pickled, nothing is
+    respawned); a map with a different callable re-registers the task,
+    respawning the daemons only when the transport cannot ship the
+    callable (the default fork transport inherits it by memory image).
+    Maps whose items do not pickle take the host's one-shot path instead,
+    inheriting both callable and items by memory image; the persistent
+    daemons stay intact for the next reusable map.  :meth:`shutdown`
+    (also run at interpreter exit) reaps the daemons.
 
-    Falls back to the serial loop when the platform lacks ``fork`` (the
-    inheritance trick requires it), when called from inside a pool worker
-    (daemonic workers cannot fork children), or when the workload is too
-    small to amortise a dispatch.
+    Falls back to the serial loop when the transport cannot launch workers
+    on this platform, when called from inside a worker daemon (daemons
+    must not fork), or when the workload is too small to amortise a
+    dispatch.
     """
 
     name = "process"
+    accepts_transport = True
 
-    def __init__(self, workers: "int | None" = None) -> None:
+    def __init__(self, workers: "int | None" = None, transport=None) -> None:
         default = os.cpu_count() or 1
         self.workers = max(int(workers) if workers is not None else default, 1)
-        self._pool = None
-        self._pool_fn = None
-        self._pool_token = None
-        self._pool_size = 0
-        self._pool_finalizer = None
-        #: Number of pools forked over this backend's lifetime; a map served
-        #: without this increasing reused the persistent pool.
-        self.fork_count = 0
-        #: Number of times a mid-map worker death was detected and the
-        #: in-flight items re-enqueued (see :meth:`_pooled_results`).
-        self.worker_revivals = 0
-        _LIVE_BACKENDS.add(self)
+        self.host = WorkerHost(transport=transport, workers=self.workers)
+
+    @property
+    def transport(self):
+        """The worker transport the backend's host speaks."""
+        return self.host.transport
+
+    @property
+    def fork_count(self) -> int:
+        """Task generations installed on the host; a map served without
+        this increasing reused the persistent daemons."""
+        return self.host.task_generations
+
+    @property
+    def worker_revivals(self) -> int:
+        """Worker deaths detected (and their lost items re-enqueued)."""
+        return self.host.worker_deaths
 
     def map(self, fn, items, timer=None, stage=None) -> list:
         items = list(items)
         if (
             self.workers <= 1
             or len(items) <= 1
-            or not fork_available()
+            or not self.host.available()
             or in_worker_process()
         ):
             return SerialBackend().map(fn, items, timer=timer, stage=stage)
-        # Serialise concurrent fork maps end to end: the inherited globals
-        # must stay stable while any pool is being forked, and a persistent
-        # pool must never run two maps at once.  Parallelism comes from the
-        # workers inside one map, not from overlapping maps.
-        with _FORK_LOCK:
-            try:
-                # Probe once whether the items can cross a task queue; the
-                # probe's serialisation work is redundant with the pool's
-                # own, but items on the hot paths are chunk indices and
-                # small configuration tuples, so it is noise there.
-                pickle.dumps(items)
-            except Exception:
-                return _credit(timer, stage, self._map_one_shot(fn, items))
-            return _credit(timer, stage, self._map_pooled(fn, items))
-
-    def _map_pooled(self, fn, items: list) -> list:
-        """Run a map on the persistent pool, (re)forking it if needed.
-
-        The pool is re-forked when the callable changes and when a larger
-        map could use more workers than the pool was sized for (pools are
-        forked at ``min(workers, len(items))`` so small maps do not spawn
-        idle children).
-        """
-        wanted = min(self.workers, len(items))
-        if (
-            self._pool is None
-            or self._pool_fn is not fn
-            or wanted > self._pool_size
-        ):
-            self._dispose_pool()
-            token = next(_POOL_TOKENS)
-            _POOL_TASKS[token] = fn
-            context = multiprocessing.get_context("fork")
-            self._pool = context.Pool(processes=wanted)
-            self._pool_fn = fn
-            self._pool_token = token
-            self._pool_size = wanted
-            self._pool_finalizer = weakref.finalize(
-                self, _reap_pool, self._pool, token
-            )
-            self.fork_count += 1
-        _note_pool_owner(self)
-        try:
-            return self._pooled_results(items)
-        except BaseException:
-            # A worker may have died mid-map (or the pool be otherwise
-            # unusable); dispose it so the next map forks a clean one.
-            self._dispose_pool()
-            raise
-
-    def _pool_worker_pids(self) -> "set | None":
-        """Pids of the persistent pool's current workers.
-
-        Reads the pool's internal worker list (stable across CPython 3.x);
-        returns ``None`` when unavailable, which disables death detection
-        and degrades to the historical behaviour.
-        """
-        processes = getattr(self._pool, "_pool", None)
-        if processes is None:
-            return None
-        try:
-            return {process.pid for process in processes}
-        except Exception:  # pragma: no cover - exotic Pool internals
-            return None
-
-    def _pooled_results(self, items: list) -> list:
-        """Dispatch one map on the persistent pool, surviving worker deaths.
-
-        ``Pool.map`` blocks forever when a worker is killed mid-task: the
-        pool's maintainer thread re-forks a replacement worker (which
-        re-inherits this pool's callable through ``_POOL_TASKS``), but the
-        task that died with the worker is simply lost and its result never
-        arrives.  Items are therefore dispatched individually and watched:
-        when the pool's worker pid-set changes (a death was repaired), every
-        still-pending item is re-enqueued.  Duplicated execution is harmless
-        — tasks are pure, so whichever attempt completes first supplies the
-        value — and the queue join that used to hang can no longer occur.
-        """
-        token = self._pool_token
-        completion = threading.Event()
-
-        def submit(item):
-            return self._pool.apply_async(
-                _run_pooled_task,
-                ((token, item),),
-                callback=lambda _: completion.set(),
-                error_callback=lambda _: completion.set(),
-            )
-
-        results: list = [None] * len(items)
-        # Snapshot the worker pids *before* submitting: a worker killed while
-        # the submissions are still being enqueued must still register as
-        # churn on the first comparison, or its lost item would never be
-        # re-enqueued.
-        known_pids = self._pool_worker_pids()
-        pending: dict = {index: [submit(item)] for index, item in enumerate(items)}
-        # Bound on revival rounds within one map: a task that
-        # deterministically kills its worker (e.g. a reliable OOM) must
-        # surface as an error, not an infinite kill/refork/re-enqueue loop.
-        revival_budget = 2 * self.workers + 2
-        while pending:
-            progressed = False
-            for index in list(pending):
-                attempts = pending[index]
-                for attempt in list(attempts):
-                    if not attempt.ready():
-                        continue
-                    try:
-                        results[index] = attempt.get()
-                    except BaseException:
-                        # A re-enqueued duplicate may fail from conditions
-                        # the duplication itself created (e.g. memory
-                        # pressure); the error is only fatal once no other
-                        # attempt of this item can still deliver.
-                        attempts.remove(attempt)
-                        if not attempts:
-                            raise
-                        progressed = True
-                        continue
-                    del pending[index]
-                    progressed = True
-                    break
-            if not pending or progressed:
-                continue
-            # Any completion wakes the scan immediately; the timeout is the
-            # cadence of the worker-death check, not added result latency.
-            completion.wait(0.05)
-            completion.clear()
-            current_pids = self._pool_worker_pids()
-            if (
-                known_pids is not None
-                and current_pids is not None
-                and current_pids != known_pids
-            ):
-                # Worker churn: anything in flight on the dead worker was
-                # lost.  We cannot tell which items those were, so re-enqueue
-                # them all onto the repaired pool.
-                if revival_budget <= 0:
-                    raise RuntimeError(
-                        "process pool workers kept dying mid-map; giving up "
-                        f"after {2 * self.workers + 2} revival rounds"
-                    )
-                revival_budget -= 1
-                self.worker_revivals += 1
-                for index in pending:
-                    pending[index].append(submit(items[index]))
-                known_pids = current_pids
+        shards = [
+            Shard(index=index, item_indices=(index,), cost=1.0)
+            for index in range(len(items))
+        ]
+        # raise_original: a failing task re-raises its own exception type
+        # (when it pickles), exactly like the serial and thread backends —
+        # callers' error handling must not depend on REPRO_BACKEND.
+        results, report = self.host.run(fn, items, shards, raise_original=True)
+        if timer is not None and stage is not None:
+            timer.add_worker(stage, report.accepted_seconds)
         return results
 
-    def _map_one_shot(self, fn, items: list) -> list:
-        """Fork a single-use pool inheriting the callable *and* the items."""
-        global _TASK_FN, _TASK_ITEMS
-        _TASK_FN, _TASK_ITEMS = fn, items
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=min(self.workers, len(items))) as pool:
-                return pool.map(_run_forked_task, range(len(items)), chunksize=1)
-        finally:
-            _TASK_FN, _TASK_ITEMS = None, None
-
-    def _dispose_pool(self) -> None:
-        """Tear down the persistent pool and its task registration."""
-        finalizer = self._pool_finalizer
-        self._pool = self._pool_fn = self._pool_token = None
-        self._pool_size = 0
-        self._pool_finalizer = None
-        if finalizer is not None:
-            finalizer()  # idempotent: terminate + join + registry cleanup
-
     def shutdown(self) -> None:
-        """Reap the persistent pool's workers (idempotent, thread-safe)."""
-        with _FORK_LOCK:
-            self._dispose_pool()
+        """Reap the persistent daemons (idempotent, thread-safe)."""
+        self.host.shutdown()
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers},{self.transport.name})"
 
 
 #: Registry of selectable backends, keyed by the names accepted from
@@ -500,18 +267,36 @@ BACKENDS = {
     ProcessBackend.name: ProcessBackend,
 }
 
+#: Backends resolvable by name but imported lazily (module -> backend name).
+LAZY_BACKENDS = {"cluster": "repro.exec.cluster"}
 
-def resolve_backend(backend=None, workers: "int | None" = None) -> Backend:
+
+def known_backend_names() -> list:
+    """Every backend name :func:`resolve_backend` accepts, the lazily
+    imported ones included (without importing them)."""
+    return sorted(set(BACKENDS) | set(LAZY_BACKENDS))
+
+
+def resolve_backend(backend=None, workers: "int | None" = None, transport=None) -> Backend:
     """Resolve a backend instance from a name, an instance, or the environment.
 
     Args:
         backend: a :class:`Backend` instance (returned unchanged), a backend
-            name from :data:`BACKENDS`, or ``None`` to consult the
-            ``REPRO_BACKEND`` environment variable and fall back to the
+            name from :func:`known_backend_names`, or ``None`` to consult
+            the ``REPRO_BACKEND`` environment variable and fall back to the
             behaviour-preserving default (``thread``).
         workers: worker count; ``None`` uses the backend's own default
             (1 for serial/thread — today's inline behaviour — and the host
-            CPU count for the process pool).
+            CPU count for the worker-daemon backends).
+        transport: worker transport (a name or a
+            :class:`~repro.exec.transport.Transport` instance) for backends
+            that run on worker daemons; ``None`` consults the
+            ``REPRO_TRANSPORT`` environment variable.  Ignored by the
+            in-process backends.
+
+    Raises:
+        ValueError: the name is not a known backend; the message lists
+            every valid name, the lazily imported ``cluster`` included.
     """
     if isinstance(backend, Backend):
         return backend
@@ -519,14 +304,21 @@ def resolve_backend(backend=None, workers: "int | None" = None) -> Backend:
     if name is None:
         name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND_NAME
     name = str(name).strip().lower()
-    if name == "cluster" and name not in BACKENDS:
+    if name not in BACKENDS and name in LAZY_BACKENDS:
         # The cluster backend lives in its own module (it pulls in the
         # persistence layer for store-aware scheduling); importing it
         # registers it into BACKENDS.
-        import repro.exec.cluster  # noqa: F401
+        import importlib
 
+        importlib.import_module(LAZY_BACKENDS[name])
     if name not in BACKENDS:
         raise ValueError(
-            f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}"
+            f"unknown execution backend {name!r}; valid backends: "
+            f"{', '.join(known_backend_names())} (select via "
+            f"PipelineConfig.backend or the {BACKEND_ENV_VAR} environment "
+            "variable)"
         )
-    return BACKENDS[name](workers=workers)
+    cls = BACKENDS[name]
+    if transport is not None and getattr(cls, "accepts_transport", False):
+        return cls(workers=workers, transport=transport)
+    return cls(workers=workers)

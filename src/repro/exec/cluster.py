@@ -3,29 +3,36 @@
 The paper's decomposition of a scene into independently profiled,
 independently baked objects makes every heavy stage embarrassingly
 shardable: profile fits shard by object, bake geometry by sub-model, deploy
-marching by ray chunk.  This module supplies the two pieces that turn the
-single-host fork pool of :class:`~repro.exec.backends.ProcessBackend` into
-a cluster-shaped execution story:
+marching by ray chunk.  This module is the *scheduling policy* half of the
+cluster execution story — the worker lifecycle (persistent daemons,
+transports, death recovery) lives in :mod:`repro.exec.worker` and
+:mod:`repro.exec.transport`, shared with the process backend:
 
 * :class:`ShardPlanner` — partitions a stage's work items into
   deterministic, cost-weighted shards (longest-processing-time greedy over
   caller-supplied cost hints, oversharded a few shards per worker so the
   scheduler can balance stragglers dynamically).
 * :class:`ClusterBackend` — a :class:`~repro.exec.backends.Backend` that
-  executes those shards on a set of worker daemons.  Workers are spawned
-  subprocesses that speak a small length-prefixed message protocol over a
-  socket pair, so the scheduler/worker split is exactly the one a
-  multi-machine deployment needs — only the transport (a local socketpair
-  and a fork) is single-host today.
+  executes those shards on the worker daemons of a
+  :class:`~repro.exec.worker.WorkerHost`.  Daemons speak the
+  length-prefixed frame protocol over a pluggable transport — a local
+  socketpair by default, loopback TCP under ``REPRO_TRANSPORT=tcp`` — so
+  the scheduler/worker split is exactly the one a multi-machine deployment
+  needs.
 
 Scheduling properties:
 
 * **Deterministic results.**  Shards are pure functions of disjoint item
   subsets and results are reassembled by item index, so the output is
   bit-identical to :class:`~repro.exec.backends.SerialBackend` for any
-  worker count and any shard plan.  Randomised tasks must draw from
-  :func:`~repro.exec.backends.shard_rng` keyed by the *item* index, which
-  makes the draw shard-count-invariant by construction.
+  worker count, any shard plan and any transport.  Randomised tasks must
+  draw from :func:`~repro.exec.backends.shard_rng` keyed by the *item*
+  index, which makes the draw shard-count-invariant by construction.
+* **Persistent daemons.**  Workers are spawned on the first map and
+  **reused across maps** through the host's callable-token registry:
+  consecutive maps with the same callable respawn nothing (asserted in
+  ``tests/test_exec_cluster.py``), and a changed callable respawns only
+  when the transport cannot ship it by pickle.
 * **Store-aware placement.**  Workers share the on-disk
   :class:`~repro.exec.persist.DiskArtifactStore` (a path, so sharing across
   processes is free).  When the caller supplies per-item artifact keys,
@@ -43,59 +50,42 @@ Scheduling properties:
   shards are pure and deterministic.
 * **Retry on worker death.**  A worker that dies mid-shard (killed, OOMed,
   crashed) is detected by its connection closing; its in-flight shard is
-  re-queued at the front and a replacement worker is forked, up to a
+  re-queued at the front and a replacement worker is spawned, up to a
   respawn budget.  A task *error* (the callable raising) is different: it
-  is reported over the protocol and re-raised in the caller.
+  is reported over the protocol and re-raised in the caller as
+  :class:`ClusterTaskError`.
 
 Per-shard worker seconds are reported through the existing
 :class:`~repro.utils.timing.StageTimer` channels (``timer.add_worker``),
 summing only first-accepted completions so speculative duplicates do not
 inflate the stage attribution.
-
-Workers are forked per ``map`` call (single-item and single-worker maps
-fall back inline, so small render maps never pay a fork).  Keeping daemons
-alive across maps — the fork pool's token registry applied to this
-protocol — is the known next optimisation; see ROADMAP.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import heapq
-import itertools
-import multiprocessing
 import os
-import pickle
-import selectors
-import socket
-import struct
 import time
-import traceback
-from collections import deque
 from dataclasses import dataclass
 
 from repro.exec.backends import (
     BACKENDS,
     Backend,
     SerialBackend,
-    _FORK_LOCK,
-    fork_available,
     in_worker_process,
 )
 from repro.exec.persist import DiskArtifactStore, artifact_dir_from_env
+from repro.exec.worker import Shard, WorkerHost, WorkerTaskError
+
+#: A task callable raised inside a cluster worker (remote traceback
+#: attached).  The same error type the worker host raises for every
+#: daemon-backed backend.
+ClusterTaskError = WorkerTaskError
 
 # ---------------------------------------------------------------------------
 # Shard planning
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Shard:
-    """One schedulable unit: a subset of item indices and its cost estimate."""
-
-    index: int
-    item_indices: tuple
-    cost: float
 
 
 class ShardPlanner:
@@ -183,100 +173,6 @@ def store_aware_costs(
     return costs
 
 
-# ---------------------------------------------------------------------------
-# Wire protocol
-# ---------------------------------------------------------------------------
-#
-# Messages are pickled tuples behind an 8-byte little-endian length prefix.
-# Scheduler -> worker:   ("shard", shard_index, item_indices) | ("stop",)
-# Worker -> scheduler:   ("done", shard_index, elapsed, results)
-#                      | ("fail", shard_index, traceback_text)
-#
-# The callable and the item list never cross the wire: workers inherit them
-# by fork memory image (closures over scenes, SDF lambdas and lazy textures
-# all work), and a shard dispatch names only item *indices*.  Results are
-# pickled — the same contract as the fork pool.
-
-_FRAME_HEADER = struct.Struct("<Q")
-
-
-def _send_message(conn: socket.socket, message: tuple) -> None:
-    # Pickle first: a PicklingError must surface before any bytes are
-    # written, so a failed send never leaves a torn frame on the stream.
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    conn.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
-
-
-def _recv_exact(conn: socket.socket, count: int) -> bytes:
-    chunks = []
-    while count:
-        chunk = conn.recv(min(count, 1 << 20))
-        if not chunk:
-            raise EOFError("cluster connection closed")
-        chunks.append(chunk)
-        count -= len(chunk)
-    return b"".join(chunks)
-
-
-def _recv_message(conn: socket.socket) -> tuple:
-    (length,) = _FRAME_HEADER.unpack(_recv_exact(conn, _FRAME_HEADER.size))
-    return pickle.loads(_recv_exact(conn, length))
-
-
-#: Task state inherited by forked cluster workers.  Assigned (and cleared)
-#: under ``backends._FORK_LOCK`` for the whole map, so a replacement worker
-#: forked mid-map after a death still inherits this map's task.
-_CLUSTER_FN = None
-_CLUSTER_ITEMS: "list | None" = None
-
-
-def _worker_main(conn: socket.socket) -> None:
-    """Daemon loop of one cluster worker: execute shards until told to stop."""
-    try:
-        while True:
-            try:
-                message = _recv_message(conn)
-            except (EOFError, OSError):
-                return  # scheduler went away
-            if message[0] == "stop":
-                return
-            _, shard_index, item_indices = message
-            start = time.perf_counter()
-            try:
-                results = [_CLUSTER_FN(_CLUSTER_ITEMS[i]) for i in item_indices]
-                elapsed = time.perf_counter() - start
-                reply = ("done", shard_index, elapsed, results)
-            except BaseException:
-                reply = ("fail", shard_index, traceback.format_exc())
-            try:
-                _send_message(conn, reply)
-            except Exception:
-                # Unpicklable results: report the failure instead of dying
-                # silently (the fallback message is always picklable).
-                try:
-                    _send_message(conn, ("fail", shard_index, traceback.format_exc()))
-                except Exception:
-                    return
-    finally:
-        conn.close()
-
-
-class ClusterTaskError(RuntimeError):
-    """A task callable raised inside a cluster worker (remote traceback attached)."""
-
-
-class _WorkerHandle:
-    """Scheduler-side bookkeeping for one live worker daemon."""
-
-    __slots__ = ("worker_id", "process", "conn", "shard")
-
-    def __init__(self, worker_id: int, process, conn: socket.socket) -> None:
-        self.worker_id = worker_id
-        self.process = process
-        self.conn = conn
-        self.shard: "Shard | None" = None
-
-
 @dataclass
 class ClusterStats:
     """Observable counters of one :class:`ClusterBackend`."""
@@ -284,6 +180,14 @@ class ClusterStats:
     maps: int = 0
     serial_fallbacks: int = 0
     workers_spawned: int = 0
+    #: Live daemons reused from the persistent fleet at map start, summed
+    #: over maps — the per-map fork overhead the token registry eliminates.
+    workers_reused: int = 0
+    #: Maps served entirely by reused daemons (zero spawns).
+    maps_reusing_daemons: int = 0
+    #: Task tokens installed on the host (first map = 1; +1 per callable
+    #: change; a re-registration without respawn still counts).
+    task_registrations: int = 0
     shards_planned: int = 0
     shards_dispatched: int = 0
     speculative_dispatches: int = 0
@@ -301,14 +205,16 @@ class ClusterStats:
 
 
 class ClusterBackend(Backend):
-    """Sharded execution over worker daemons speaking the frame protocol.
+    """Sharded execution over the worker host's persistent daemons.
 
     Implements the ordered-map :class:`~repro.exec.backends.Backend`
     contract — ``map(fn, items)`` returns ``[fn(item) for item in items]``
     bit-identically to the serial reference — while executing shard-wise on
-    ``workers`` forked daemons.  See the module docstring for the
-    scheduling properties (determinism, store-aware placement, straggler
-    stealing, death retry).
+    ``workers`` daemons.  The backend itself is a pure scheduler: shard
+    planning (:class:`ShardPlanner`), store-aware cost hints and the
+    straggler-steal policy live here; spawning, reuse, death recovery and
+    transport live in the shared :class:`~repro.exec.worker.WorkerHost`.
+    See the module docstring for the scheduling properties.
 
     Args:
         workers: worker daemon count (``None`` = host CPU count).
@@ -317,16 +223,19 @@ class ClusterBackend(Backend):
             for store-aware cost hints and consulted by store-integrated
             tasks; ``None`` builds one from ``$REPRO_ARTIFACT_DIR`` when
             that is set (matching the pipeline's own persistence opt-in).
-        max_respawns: extra workers the scheduler may fork to replace dead
-            ones before giving up; ``None`` scales with the worker count.
+        max_respawns: per-map budget of replacement workers after deaths;
+            ``None`` scales with the worker count.
         speculate: enable speculative re-execution of straggler shards.
+        transport: worker transport (name or instance); ``None`` consults
+            ``REPRO_TRANSPORT`` and defaults to socketpair+fork.
 
-    Falls back to the serial loop exactly like the fork pool: single
-    worker, single item, fork-less platforms, or when called from inside a
-    worker process (daemons must not fork).
+    Falls back to the serial loop exactly like the process backend: single
+    worker, single item, platforms where the transport cannot launch
+    workers, or when called from inside a worker daemon.
     """
 
     name = "cluster"
+    accepts_transport = True
     #: Callers may pass ``costs=`` / ``cost_keys=`` hints to :meth:`map`.
     supports_cost_hints = True
     #: Pipeline stages should shard whole objects through this backend (the
@@ -340,6 +249,7 @@ class ClusterBackend(Backend):
         store: "DiskArtifactStore | None" = None,
         max_respawns: "int | None" = None,
         speculate: bool = True,
+        transport=None,
     ) -> None:
         default = os.cpu_count() or 1
         self.workers = max(int(workers) if workers is not None else default, 1)
@@ -348,11 +258,54 @@ class ClusterBackend(Backend):
             directory = artifact_dir_from_env()
             store = DiskArtifactStore(directory) if directory else None
         self.store = store
-        self.max_respawns = (
-            2 * self.workers + 2 if max_respawns is None else max(int(max_respawns), 0)
-        )
         self.speculate = bool(speculate)
+        self.host = WorkerHost(
+            transport=transport, workers=self.workers, max_respawns=max_respawns
+        )
+        self.max_respawns = self.host.max_respawns
         self.stats = ClusterStats()
+
+    @property
+    def transport(self):
+        """The worker transport the backend's host speaks."""
+        return self.host.transport
+
+    def shutdown(self) -> None:
+        """Reap the persistent daemons (idempotent, thread-safe)."""
+        self.host.shutdown()
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers},{self.transport.name})"
+
+    # -- the steal policy ----------------------------------------------------
+
+    @staticmethod
+    def _steal_candidate(view, worker_id: int):
+        """Backup-task heuristic: steal only a shard whose single active
+        attempt has outlived twice the average completed duration, and
+        never run more than one duplicate.  Without completed shards there
+        is no baseline, so nothing is stolen yet."""
+        if not view.completed_durations:
+            return None
+        threshold = max(
+            2.0 * (sum(view.completed_durations) / len(view.completed_durations)),
+            0.05,
+        )
+        now = time.perf_counter()
+        best = None
+        best_age = threshold
+        for index, running in view.in_flight.items():
+            if index in view.completed or len(running) != 1:
+                continue
+            if worker_id in running:
+                continue
+            (runner,) = running
+            age = now - view.dispatch_started.get((index, runner), now)
+            if age >= best_age:
+                best, best_age = view.shard_by_index[index], age
+        return best
+
+    # -- the map -------------------------------------------------------------
 
     def map(
         self,
@@ -367,7 +320,7 @@ class ClusterBackend(Backend):
         if (
             self.workers <= 1
             or len(items) <= 1
-            or not fork_available()
+            or not self.host.available()
             or in_worker_process()
         ):
             self.stats.serial_fallbacks += 1
@@ -381,244 +334,28 @@ class ClusterBackend(Backend):
                     for position, cost in enumerate(costs)
                     if cost < (1.0 if before is None else float(before[position]))
                 )
-        global _CLUSTER_FN, _CLUSTER_ITEMS
-        # One lock for every fork in the execution layer: the inherited
-        # globals must stay stable for the whole map (replacement workers
-        # forked after a death must still see this map's task).
-        with _FORK_LOCK:
-            _CLUSTER_FN, _CLUSTER_ITEMS = fn, items
-            try:
-                shards = self.planner.plan(len(items), self.workers, costs)
-                self.stats.shards_planned += len(shards)
-                results, worker_seconds = self._run_cluster(len(items), shards)
-            finally:
-                _CLUSTER_FN, _CLUSTER_ITEMS = None, None
+        shards = self.planner.plan(len(items), self.workers, costs)
+        self.stats.shards_planned += len(shards)
+        results, report = self.host.run(
+            fn,
+            items,
+            shards,
+            steal=self._steal_candidate if self.speculate else None,
+        )
         self.stats.maps += 1
+        self.stats.workers_spawned += report.spawned
+        self.stats.workers_reused += report.reused_workers
+        if report.reused_workers and not report.spawned:
+            self.stats.maps_reusing_daemons += 1
+        if report.task_registered:
+            self.stats.task_registrations += 1
+        self.stats.shards_dispatched += report.dispatched
+        self.stats.speculative_dispatches += report.speculative
+        self.stats.worker_deaths += report.deaths
+        self.stats.shards_requeued += report.requeued
         if timer is not None and stage is not None:
-            timer.add_worker(stage, worker_seconds)
+            timer.add_worker(stage, report.accepted_seconds)
         return results
-
-    # -- the scheduler -------------------------------------------------------
-
-    def _run_cluster(self, num_items: int, shards: list) -> tuple:
-        """Execute planned shards on worker daemons; return ordered results."""
-        context = multiprocessing.get_context("fork")
-        dispatch_order = sorted(shards, key=lambda shard: (-shard.cost, shard.index))
-        pending = deque(dispatch_order)
-        completed: dict = {}
-        in_flight: dict = {shard.index: set() for shard in shards}
-        shard_by_index = {shard.index: shard for shard in shards}
-        workers: dict = {}
-        worker_ids = itertools.count()
-        respawn_budget = self.max_respawns
-        selector = selectors.DefaultSelector()
-        accepted_seconds = 0.0
-        failure: "ClusterTaskError | None" = None
-        dispatch_started: dict = {}  # (shard index, worker id) -> perf_counter
-        completed_durations: list = []  # wall seconds of accepted completions
-
-        def spawn_worker() -> _WorkerHandle:
-            parent_conn, child_conn = socket.socketpair()
-            process = context.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            handle = _WorkerHandle(next(worker_ids), process, parent_conn)
-            workers[handle.worker_id] = handle
-            selector.register(parent_conn, selectors.EVENT_READ, handle)
-            self.stats.workers_spawned += 1
-            return handle
-
-        def steal_candidate(handle: _WorkerHandle) -> "Shard | None":
-            # Backup-task heuristic: steal only a shard whose single active
-            # attempt has outlived twice the average completed duration, and
-            # never run more than one duplicate.  Without completed shards
-            # there is no baseline, so nothing is stolen yet.
-            if not completed_durations:
-                return None
-            threshold = max(
-                2.0 * (sum(completed_durations) / len(completed_durations)), 0.05
-            )
-            now = time.perf_counter()
-            best = None
-            best_age = threshold
-            for index, running in in_flight.items():
-                if index in completed or len(running) != 1:
-                    continue
-                if handle.worker_id in running:
-                    continue
-                (runner,) = running
-                age = now - dispatch_started.get((index, runner), now)
-                if age >= best_age:
-                    best, best_age = shard_by_index[index], age
-            return best
-
-        def dispatch(handle: _WorkerHandle) -> None:
-            shard = None
-            speculative = False
-            if pending:
-                shard = pending.popleft()
-            elif self.speculate:
-                shard = steal_candidate(handle)
-                speculative = shard is not None
-            if shard is None:
-                handle.shard = None
-                return
-            handle.shard = shard
-            in_flight[shard.index].add(handle.worker_id)
-            dispatch_started[(shard.index, handle.worker_id)] = time.perf_counter()
-            try:
-                _send_message(handle.conn, ("shard", shard.index, shard.item_indices))
-            except OSError:
-                # The worker died while idle (its EOF may still be queued in
-                # the selector); requeue the shard and repair the pool
-                # instead of crashing the map.
-                handle_worker_death(handle)
-                return
-            self.stats.shards_dispatched += 1
-            if speculative:
-                self.stats.speculative_dispatches += 1
-
-        def retire(handle: _WorkerHandle, requeue: bool) -> None:
-            if handle.worker_id not in workers:
-                return  # already retired (e.g. send failure then EOF event)
-            selector.unregister(handle.conn)
-            handle.conn.close()
-            workers.pop(handle.worker_id, None)
-            shard = handle.shard
-            if shard is None:
-                return
-            in_flight[shard.index].discard(handle.worker_id)
-            dispatch_started.pop((shard.index, handle.worker_id), None)
-            if (
-                requeue
-                and shard.index not in completed
-                and not in_flight[shard.index]
-                and shard not in pending
-            ):
-                pending.appendleft(shard)  # lost work runs next
-                self.stats.shards_requeued += 1
-
-        def feed_idle_workers() -> None:
-            for handle in list(workers.values()):
-                if not pending:
-                    break
-                if handle.shard is None:
-                    dispatch(handle)
-
-        def handle_worker_death(handle: _WorkerHandle) -> None:
-            # Shared by the EOF path and the dispatch send-failure path:
-            # requeue the lost shard, fork a replacement within budget (so
-            # the pool holds its configured width instead of shrinking for
-            # the rest of the map), and put any idle workers back to work.
-            nonlocal respawn_budget
-            if handle.worker_id not in workers:
-                return  # both paths fired for the same death
-            self.stats.worker_deaths += 1
-            retire(handle, requeue=True)
-            handle.process.join(timeout=0.5)
-            if len(completed) < len(shards) and respawn_budget > 0:
-                respawn_budget -= 1
-                dispatch(spawn_worker())
-            feed_idle_workers()
-
-        try:
-            for _ in range(min(self.workers, len(shards))):
-                dispatch(spawn_worker())
-
-            while len(completed) < len(shards) and failure is None:
-                while not workers:
-                    if respawn_budget <= 0:
-                        raise RuntimeError(
-                            "cluster backend: all workers died and the respawn "
-                            f"budget ({self.max_respawns}) is exhausted"
-                        )
-                    respawn_budget -= 1
-                    dispatch(spawn_worker())
-                idle = [
-                    handle for handle in workers.values() if handle.shard is None
-                ]
-                events = selector.select(timeout=0.05 if idle else 5.0)
-                if not events:
-                    # Idle workers re-check the steal threshold as in-flight
-                    # shards age into stragglers.
-                    for handle in idle:
-                        dispatch(handle)
-                    continue
-                for key, _ in events:
-                    handle = key.data
-                    if handle.worker_id not in workers:
-                        continue  # retired earlier in this same event batch
-                    try:
-                        message = _recv_message(handle.conn)
-                    except (EOFError, OSError):
-                        # Worker death (killed, crashed, OOMed): requeue its
-                        # shard and fork a replacement within budget.
-                        handle_worker_death(handle)
-                        continue
-                    kind = message[0]
-                    if kind == "done":
-                        _, shard_index, elapsed, results = message
-                        in_flight[shard_index].discard(handle.worker_id)
-                        started = dispatch_started.pop(
-                            (shard_index, handle.worker_id), None
-                        )
-                        if shard_index not in completed:
-                            completed[shard_index] = results
-                            accepted_seconds += float(elapsed)
-                            if started is not None:
-                                completed_durations.append(
-                                    time.perf_counter() - started
-                                )
-                        handle.shard = None
-                        dispatch(handle)
-                    elif kind == "fail":
-                        _, shard_index, trace = message
-                        in_flight[shard_index].discard(handle.worker_id)
-                        dispatch_started.pop(
-                            (shard_index, handle.worker_id), None
-                        )
-                        if shard_index in completed or in_flight[shard_index]:
-                            # A duplicated attempt failed (e.g. memory
-                            # pressure from running the shard twice) while
-                            # the shard was already delivered — or still has
-                            # a live sibling attempt that may deliver it.
-                            # Not (yet) a map failure.
-                            handle.shard = None
-                            dispatch(handle)
-                            continue
-                        failure = ClusterTaskError(
-                            "task failed in cluster worker:\n" + trace
-                        )
-                        break
-                    else:  # pragma: no cover - protocol violation
-                        failure = ClusterTaskError(
-                            f"unexpected cluster message {message[0]!r}"
-                        )
-                        break
-            if failure is not None:
-                raise failure
-        finally:
-            for handle in list(workers.values()):
-                try:
-                    _send_message(handle.conn, ("stop",))
-                except OSError:
-                    pass
-                handle.conn.close()
-            selector.close()
-            for handle in list(workers.values()):
-                handle.process.join(timeout=0.2)
-                if handle.process.is_alive():
-                    handle.process.terminate()
-                    handle.process.join(timeout=2.0)
-
-        ordered = [None] * num_items
-        for shard in shards:
-            shard_results = completed[shard.index]
-            for item_index, value in zip(shard.item_indices, shard_results):
-                ordered[item_index] = value
-        return ordered, accepted_seconds
 
 
 BACKENDS[ClusterBackend.name] = ClusterBackend

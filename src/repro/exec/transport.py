@@ -1,0 +1,450 @@
+"""Pluggable worker transports: how a scheduler reaches its worker daemons.
+
+The execution layer's parallel backends (:class:`~repro.exec.backends.
+ProcessBackend` and :class:`~repro.exec.cluster.ClusterBackend`) both run
+work on long-lived worker daemons.  This module owns the two pieces of that
+story that are independent of *scheduling*:
+
+* the **wire protocol** — pickled tuples behind an 8-byte little-endian
+  length prefix (:func:`send_frame` / :func:`recv_frame`), and the daemon
+  loop (:func:`worker_loop`) that serves it; and
+* the **transport** — how a worker daemon is launched and connected.
+
+Two transports ship today, selectable via the ``REPRO_TRANSPORT``
+environment variable or :func:`resolve_transport`:
+
+* :class:`ForkSocketpairTransport` (``"fork"``, the default) — the worker
+  is forked and speaks the protocol over a :func:`socket.socketpair`.  The
+  task callable travels by **fork memory image** (closures over scenes,
+  SDF lambdas and lazy textures all work), registered under a token in
+  :data:`_IMAGE_TASKS` immediately before the fork.
+* :class:`TcpTransport` (``"tcp"``) — the worker is spawned as a
+  subprocess that connects *back* to the scheduler over loopback TCP and
+  authenticates with a one-shot handshake secret.  Every frame crosses a
+  real TCP stream, so the scheduler/worker split is exactly the shape a
+  multi-machine deployment needs: pointing this transport's launcher at a
+  remote host is a deployment change, not a protocol change.  The task
+  callable is **shipped by pickle** under its registry token whenever it
+  pickles (the remote-ready path — a new callable reaches a live daemon
+  without a respawn); callables that cannot pickle (closures) fall back to
+  fork-image inheritance, which works on loopback because the workers are
+  still forked locally — a true remote deployment would require picklable
+  tasks.
+
+Both transports serve the same daemon loop and the same frame protocol, so
+the :class:`~repro.exec.worker.WorkerHost` above them is transport-blind —
+which is what keeps the two parallel backends bit-identical to the serial
+reference under either transport (pinned in ``tests/test_exec_cluster.py``).
+
+Protocol frames (all pickled tuples):
+
+=======================  =================================================
+scheduler -> worker      meaning
+=======================  =================================================
+``("task", t, bytes)``   register callable ``pickle.loads(bytes)`` under
+                         token ``t`` (pickle-shipped tasks only)
+``("shard", t, s,        run shard ``s`` of task ``t`` over ``pairs`` —
+`` pairs)``              a list of ``(item_index, item)`` tuples
+``("shard_image", t,     run shard ``s`` of task ``t`` over the item
+`` s, indices)``         *indices* into the fork-inherited
+                         :data:`_IMAGE_ITEMS` registry
+``("stop",)``            exit the daemon loop
+=======================  =================================================
+
+=======================  =================================================
+worker -> scheduler      meaning
+=======================  =================================================
+``("hello", secret)``    TCP connect-back handshake
+``("done", s, elapsed,   shard ``s`` finished; per-item results in item
+`` results)``            order; ``elapsed`` task seconds
+``("fail", s, trace,     shard ``s`` raised; formatted traceback attached,
+`` exc_bytes)``          plus the pickled exception when it pickles (so the
+                         scheduler can re-raise the original type)
+=======================  =================================================
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+import weakref
+
+#: Environment variable selecting the worker transport by name.
+TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+
+#: Transport used when neither the caller nor the environment picks one —
+#: the socketpair+fork behaviour the backends have always had.
+DEFAULT_TRANSPORT_NAME = "fork"
+
+#: One lock for every fork (and every mutation of the fork-inherited task
+#: registries) in the execution layer: the registries must stay stable for a
+#: whole map, because a replacement worker forked mid-map after a death must
+#: still inherit that map's task.  Shared by every backend and transport.
+LIFECYCLE_LOCK = threading.Lock()
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def in_worker_process() -> bool:
+    """Whether the current process is a worker daemon (workers must not fork)."""
+    process = multiprocessing.current_process()
+    return bool(process.daemon) or process.name != "MainProcess"
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol
+# ---------------------------------------------------------------------------
+
+_FRAME_HEADER = struct.Struct("<Q")
+
+
+def send_frame(conn: socket.socket, message: tuple) -> None:
+    """Write one length-prefixed pickled message to ``conn``."""
+    # Pickle first: a PicklingError must surface before any bytes are
+    # written, so a failed send never leaves a torn frame on the stream.
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(conn: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = conn.recv(min(count, 1 << 20))
+        if not chunk:
+            raise EOFError("worker connection closed")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(conn: socket.socket) -> tuple:
+    """Read one length-prefixed pickled message from ``conn``."""
+    (length,) = _FRAME_HEADER.unpack(_recv_exact(conn, _FRAME_HEADER.size))
+    return pickle.loads(_recv_exact(conn, length))
+
+
+# ---------------------------------------------------------------------------
+# Fork-image task registries and the daemon loop
+# ---------------------------------------------------------------------------
+
+#: Task callables that travel by fork memory image, keyed by task token.
+#: Entries are added (under :data:`LIFECYCLE_LOCK`) immediately before
+#: workers are forked — so the workers inherit them — and removed only when
+#: the token is retired, so a replacement worker forked at any later point
+#: of the token's lifetime still finds its task.
+_IMAGE_TASKS: dict = {}
+
+#: Item lists of one-shot maps whose items do not pickle, keyed by task
+#: token; inherited by fork exactly like :data:`_IMAGE_TASKS`.  Shards of
+#: such maps name item *indices* (``"shard_image"`` frames) instead of
+#: carrying the items across the wire.
+_IMAGE_ITEMS: dict = {}
+
+#: Parent-side sockets a forked worker must not keep open (the scheduler
+#: ends of other workers' connections, and the TCP listener — a child
+#: holding the listener would keep the port alive after the parent closes
+#: it).  Closed at the top of every worker entry point.
+_PARENT_SOCKETS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _close_inherited_parent_sockets() -> None:
+    for sock in list(_PARENT_SOCKETS):
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class _BrokenTask:
+    """Placeholder for a task registration that failed to unpickle."""
+
+    def __init__(self, trace: str) -> None:
+        self.trace = trace
+
+    def __call__(self, item):
+        raise RuntimeError(f"task failed to unpickle in worker:\n{self.trace}")
+
+
+def worker_loop(conn: socket.socket) -> None:
+    """Daemon loop of one worker: serve registrations and shards until told
+    to stop (or the scheduler goes away)."""
+    shipped_tasks: dict = {}
+    try:
+        while True:
+            try:
+                message = recv_frame(conn)
+            except (EOFError, OSError):
+                return  # scheduler went away
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "task":
+                _, token, payload = message
+                # Only the newest registration can still receive shards
+                # (the host ships a task before that token's first shard,
+                # frames are FIFO), so older entries are dead weight — a
+                # long-lived daemon must not accumulate every callable it
+                # ever served.
+                shipped_tasks.clear()
+                try:
+                    shipped_tasks[token] = pickle.loads(payload)
+                except BaseException:
+                    # Surface the failure when (not before) a shard of this
+                    # task runs; registration itself has no reply frame.
+                    shipped_tasks[token] = _BrokenTask(traceback.format_exc())
+                continue
+            _, token, shard_index, payload = message
+            start = time.perf_counter()
+            try:
+                fn = shipped_tasks.get(token)
+                if fn is None:
+                    fn = _IMAGE_TASKS[token]
+                if kind == "shard_image":
+                    items = _IMAGE_ITEMS[token]
+                    results = [fn(items[index]) for index in payload]
+                else:
+                    results = [fn(item) for _, item in payload]
+                elapsed = time.perf_counter() - start
+                reply = ("done", shard_index, elapsed, results)
+            except BaseException as error:
+                trace = traceback.format_exc()
+                try:
+                    # Ship the exception itself when it pickles, so the
+                    # scheduler can re-raise the original type (the serial
+                    # backend's semantics); the traceback text always gets
+                    # through regardless.
+                    exc_bytes = pickle.dumps(error, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    exc_bytes = None
+                reply = ("fail", shard_index, trace, exc_bytes)
+            try:
+                send_frame(conn, reply)
+            except Exception:
+                # Unpicklable results: report the failure instead of dying
+                # silently (the fallback message is always picklable).
+                try:
+                    send_frame(
+                        conn, ("fail", shard_index, traceback.format_exc(), None)
+                    )
+                except Exception:
+                    return
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class Transport:
+    """How worker daemons are launched and connected.
+
+    A transport owns connection establishment only; the daemon loop, the
+    frame protocol and the task registries are shared.  Implementations
+    provide :meth:`spawn_worker`, returning a ``(process, conn)`` pair whose
+    ``conn`` speaks the frame protocol.
+    """
+
+    name = "base"
+
+    #: Whether a *new* callable can be delivered to an already-running
+    #: daemon (shipped by pickle under its token).  Transports without this
+    #: must respawn daemons when the callable changes — the callable can
+    #: only travel by fork memory image.
+    ships_callable = False
+
+    def available(self) -> bool:
+        """Whether this transport can launch workers on this platform."""
+        return fork_available()
+
+    def spawn_worker(self) -> tuple:
+        """Launch one worker daemon; return ``(process, conn)``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any transport-level resources (listeners)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _fork_worker_entry(conn: socket.socket) -> None:
+    """Entry point of one socketpair worker: drop the scheduler-side
+    sockets the fork copied (other workers' connections, any TCP listener
+    — a held peer FD would mask their EOFs), then serve."""
+    _close_inherited_parent_sockets()
+    worker_loop(conn)
+
+
+class ForkSocketpairTransport(Transport):
+    """Today's behaviour: fork the worker, talk over a socketpair.
+
+    The worker inherits the scheduler's memory image, so the task callable
+    (and, for one-shot maps, the items) never cross the wire — they are
+    looked up in the fork-inherited registries by token.
+    """
+
+    name = "fork"
+    ships_callable = False
+
+    def spawn_worker(self) -> tuple:
+        parent_conn, child_conn = socket.socketpair()
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_fork_worker_entry, args=(child_conn,), daemon=True
+        )
+        # Register the scheduler side *before* forking: the child inherits a
+        # duplicate of it, and unless the entry point closes that dup, the
+        # worker's own socketpair could never deliver the scheduler-died
+        # EOF (the dup would hold the pair open from inside the worker).
+        _PARENT_SOCKETS.add(parent_conn)
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+
+def _tcp_worker_entry(host: str, port: int, secret: bytes) -> None:
+    """Entry point of one TCP worker: connect back, authenticate, serve."""
+    _close_inherited_parent_sockets()
+    conn = socket.create_connection((host, port), timeout=30.0)
+    conn.settimeout(None)
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - exotic platforms
+        pass
+    send_frame(conn, ("hello", secret))
+    worker_loop(conn)
+
+
+class TcpTransport(Transport):
+    """Loopback-TCP workers: the wire protocol over a real network socket.
+
+    The scheduler listens on an ephemeral loopback port; each worker is
+    spawned as a subprocess that connects back and authenticates with a
+    one-shot secret.  All frames — task registrations, shard dispatches,
+    results — cross the TCP stream, so this transport exercises exactly the
+    protocol surface a multi-machine deployment would use; only the
+    launcher (a local fork of this process) is single-host.  Callables are
+    shipped by pickle under their token whenever they pickle, letting a
+    live daemon pick up a new task without a respawn; unpicklable closures
+    fall back to fork-image inheritance (loopback-only by construction).
+
+    Args:
+        host: interface to listen on (loopback by default; a multi-machine
+            launcher would bind a routable address and start workers with
+            the advertised endpoint).
+        connect_timeout: seconds to wait for a spawned worker's
+            connect-back handshake before declaring the spawn failed.
+    """
+
+    name = "tcp"
+    ships_callable = True
+
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 30.0) -> None:
+        self.host = host
+        self.connect_timeout = float(connect_timeout)
+        self._listener: "socket.socket | None" = None
+
+    def _ensure_listener(self) -> socket.socket:
+        if self._listener is None:
+            self._listener = socket.create_server((self.host, 0))
+            _PARENT_SOCKETS.add(self._listener)
+        return self._listener
+
+    @property
+    def port(self) -> "int | None":
+        """The listener's bound port (``None`` before the first spawn)."""
+        return None if self._listener is None else self._listener.getsockname()[1]
+
+    def spawn_worker(self) -> tuple:
+        listener = self._ensure_listener()
+        port = listener.getsockname()[1]
+        secret = os.urandom(16)
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_tcp_worker_entry, args=(self.host, port, secret), daemon=True
+        )
+        process.start()
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            listener.settimeout(max(remaining, 0.05))
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            try:
+                conn.settimeout(self.connect_timeout)
+                hello = recv_frame(conn)
+            except (EOFError, OSError):
+                conn.close()
+                continue
+            if hello == ("hello", secret):
+                conn.settimeout(None)
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:  # pragma: no cover - exotic platforms
+                    pass
+                _PARENT_SOCKETS.add(conn)
+                return process, conn
+            # A stale or foreign connection: drop it and keep waiting for
+            # the worker that knows this spawn's secret.
+            conn.close()
+        process.terminate()
+        process.join(timeout=2.0)
+        raise RuntimeError(
+            f"tcp worker did not connect back within {self.connect_timeout:.0f}s"
+        )
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def describe(self) -> str:
+        port = self.port
+        return f"tcp({self.host}:{port})" if port else f"tcp({self.host})"
+
+
+#: Registry of selectable transports, keyed by the names accepted from the
+#: ``REPRO_TRANSPORT`` environment variable and :func:`resolve_transport`.
+TRANSPORTS = {
+    ForkSocketpairTransport.name: ForkSocketpairTransport,
+    TcpTransport.name: TcpTransport,
+}
+
+
+def resolve_transport(transport=None) -> Transport:
+    """Resolve a transport instance from a name, an instance, or the environment.
+
+    Args:
+        transport: a :class:`Transport` instance (returned unchanged), a
+            transport name from :data:`TRANSPORTS`, or ``None`` to consult
+            the ``REPRO_TRANSPORT`` environment variable and fall back to
+            the behaviour-preserving default (``"fork"``).
+    """
+    if isinstance(transport, Transport):
+        return transport
+    name = transport
+    if name is None:
+        name = os.environ.get(TRANSPORT_ENV_VAR) or DEFAULT_TRANSPORT_NAME
+    name = str(name).strip().lower()
+    if name not in TRANSPORTS:
+        raise ValueError(
+            f"unknown worker transport {name!r}; valid transports: "
+            f"{', '.join(sorted(TRANSPORTS))} (select via the "
+            f"{TRANSPORT_ENV_VAR} environment variable or a transport= argument)"
+        )
+    return TRANSPORTS[name]()

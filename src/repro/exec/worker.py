@@ -1,0 +1,703 @@
+"""The shared worker-daemon lifecycle behind both parallel backends.
+
+Before this module existed, :class:`~repro.exec.backends.ProcessBackend`
+(a persistent fork pool) and :class:`~repro.exec.cluster.ClusterBackend`
+(per-map forked daemons over a socket protocol) each owned their own copy
+of the same lifecycle: spawn workers, detect deaths, re-enqueue lost work,
+respawn within a budget, shut down cleanly.  :class:`WorkerHost` is that
+lifecycle, written once, over a pluggable
+:class:`~repro.exec.transport.Transport`:
+
+* **Persistent daemons with a callable-token registry.**  The first map
+  registers its callable under a fresh token and spawns daemons;
+  consecutive maps with the *same* callable reuse the live daemons — zero
+  respawns, items cross the wire pickled (the fork pool's token-registry
+  trick applied to the frame protocol).  A map with a *different* callable
+  re-registers: transports that can ship callables by pickle deliver the
+  new task to the live daemons over the wire; fork-image transports
+  dispose the fleet and fork a fresh one (the callable can only travel by
+  memory image).
+* **One-shot maps for unpicklable items.**  Items that cannot cross a task
+  queue ride the fork memory image instead — dedicated daemons are forked
+  for that map alone (inheriting callable *and* items by image) and reaped
+  at its end, while the persistent fleet stays intact for the next
+  reusable map.  Exactly the fork pool's one-shot path.
+* **Death detection and lost-shard re-enqueue.**  A daemon that dies
+  mid-shard (killed, OOMed, crashed) is detected by its connection
+  closing; its in-flight shard is re-queued at the front, a replacement is
+  spawned within a per-map respawn budget, and chronic death surfaces as a
+  ``RuntimeError`` instead of an infinite respawn loop.  Daemons found
+  dead *between* maps (e.g. SIGKILLed while idle) are pruned and replaced
+  transparently at the next map's start.
+* **Pull-based dispatch with a pluggable steal policy.**  Work is handed
+  to whichever daemon is idle; when the queue drains, an optional
+  ``steal`` hook (the cluster backend's straggler heuristic) may pick an
+  in-flight shard to duplicate.  First completion wins; shards are pure,
+  so duplicates are harmless.
+* **Bounded idle fleets and clean shutdown.**  Hosts with live daemons are
+  tracked in an LRU bounded at :data:`_MAX_LIVE_FLEETS` (each idle daemon
+  pins a copy-on-write image of the parent); beyond it, the
+  least-recently-used host's fleet is disposed.  ``atexit`` reaps
+  everything at interpreter exit.
+
+Scheduling *policy* — how items become cost-weighted shards, store-aware
+placement, when to steal — stays in the backends; the host only owns the
+mechanics every backend needs.  Results are reassembled by item index, so
+any backend over any transport stays bit-identical to the serial loop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import selectors
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exec.transport import (
+    LIFECYCLE_LOCK,
+    _IMAGE_ITEMS,
+    _IMAGE_TASKS,
+    recv_frame,
+    resolve_transport,
+    send_frame,
+)
+
+#: Task-token source shared by every host (tokens are process-global because
+#: the fork-image registries they key are).
+_TASK_TOKENS = itertools.count()
+
+#: Live hosts, for interpreter-exit cleanup.
+_LIVE_HOSTS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Bound on hosts with live (idle) daemon fleets across all backend
+#: instances.  Pipelines, engines and baselines each resolve their own
+#: backend; without a bound, every instance's last fleet would idle until
+#: interpreter exit, each daemon pinning a copy-on-write image of the
+#: parent.  Fleets are disposed least-recently-used beyond this.
+_MAX_LIVE_FLEETS = 2
+
+#: Hosts owning live fleets, oldest first (weakrefs; callers hold
+#: :data:`~repro.exec.transport.LIFECYCLE_LOCK`).
+_FLEET_OWNERS: list = []
+
+
+def _note_fleet_owner(host) -> None:
+    """Mark ``host``'s fleet most-recently-used; dispose idle fleets beyond
+    the global bound.  Caller holds the lifecycle lock, so no disposed
+    fleet can have a map in flight."""
+    _FLEET_OWNERS[:] = [
+        ref
+        for ref in _FLEET_OWNERS
+        if ref() is not None and ref() is not host and ref()._daemons
+    ]
+    _FLEET_OWNERS.append(weakref.ref(host))
+    while len(_FLEET_OWNERS) > _MAX_LIVE_FLEETS:
+        oldest = _FLEET_OWNERS.pop(0)()
+        if oldest is not None:
+            oldest._dispose_fleet()
+
+
+def shutdown_worker_hosts() -> None:
+    """Shut down every live :class:`WorkerHost` (atexit hook)."""
+    for host in list(_LIVE_HOSTS):
+        host.shutdown()
+
+
+atexit.register(shutdown_worker_hosts)
+
+
+def _reap_fleet_at_gc(daemons: dict, token_box: list, transport) -> None:
+    """Reap a host's daemons when the host is garbage-collected without an
+    explicit :meth:`WorkerHost.shutdown` (module-level so
+    :func:`weakref.finalize` can run it without referencing the host).
+
+    Runs without the lifecycle lock — a finalizer can fire mid-map of an
+    unrelated host on the same thread, and taking the lock there would
+    deadlock.  That is safe: this host is unreachable, so nothing else
+    touches its daemons, and the registry pop is atomic under the GIL.
+    """
+    for daemon in list(daemons.values()):
+        try:
+            send_frame(daemon.conn, ("stop",))
+        except OSError:
+            pass
+        try:
+            daemon.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        daemon.process.join(timeout=0.2)
+        if daemon.process.is_alive():
+            daemon.process.terminate()
+            daemon.process.join(timeout=2.0)
+    daemons.clear()
+    token = token_box[0]
+    token_box[0] = None
+    if token is not None:
+        _IMAGE_TASKS.pop(token, None)
+    try:
+        transport.close()
+    except OSError:  # pragma: no cover - listener already closed
+        pass
+
+
+class WorkerTaskError(RuntimeError):
+    """A task callable raised inside a worker daemon (remote traceback attached)."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable unit: a subset of item indices and its cost estimate."""
+
+    index: int
+    item_indices: tuple
+    cost: float
+
+
+class _Daemon:
+    """Host-side bookkeeping for one live worker daemon."""
+
+    __slots__ = ("worker_id", "process", "conn", "shard", "shipped_tokens")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.shard: "Shard | None" = None
+        #: Tokens whose callable was delivered to this daemon by pickle.
+        self.shipped_tokens: set = set()
+
+
+@dataclass
+class HostRunReport:
+    """Observability of one :meth:`WorkerHost.run` call."""
+
+    #: Daemons spawned during this run (0 on a fully reused map).
+    spawned: int = 0
+    #: Live daemons reused from the persistent fleet at run start.
+    reused_workers: int = 0
+    #: Shard dispatches (speculative duplicates included).
+    dispatched: int = 0
+    #: Speculative (steal) dispatches among them.
+    speculative: int = 0
+    #: Worker deaths detected during the run (idle pruning included).
+    deaths: int = 0
+    #: Lost shards re-enqueued after a death.
+    requeued: int = 0
+    #: Whether this run installed a new task token (callable changed).
+    task_registered: bool = False
+    #: Whether the items rode the fork image (one-shot daemons).
+    one_shot: bool = False
+    #: Summed task seconds of first-accepted shard completions.
+    accepted_seconds: float = 0.0
+
+
+@dataclass
+class SchedulerView:
+    """Live dispatch state handed to a steal policy (read-only by contract)."""
+
+    shard_by_index: dict
+    completed: dict
+    in_flight: dict
+    dispatch_started: dict
+    completed_durations: list
+
+
+class WorkerHost:
+    """Owns worker daemons over a transport; executes shard plans on them.
+
+    Args:
+        transport: a :class:`~repro.exec.transport.Transport` instance, a
+            transport name, or ``None`` to consult ``REPRO_TRANSPORT``
+            (default ``"fork"``).
+        workers: maximum daemons kept live (``None`` = host CPU count).
+        max_respawns: per-map budget of replacement daemons after deaths;
+            ``None`` scales with the worker count.
+
+    The host is intentionally policy-free: callers hand it a list of
+    :class:`Shard` plans (the cluster backend's planner output, or the
+    degenerate one-shard-per-item plan of the process backend) and an
+    optional steal hook.  See the module docstring for the lifecycle
+    contract.
+    """
+
+    def __init__(
+        self,
+        transport=None,
+        workers: "int | None" = None,
+        max_respawns: "int | None" = None,
+    ) -> None:
+        default = os.cpu_count() or 1
+        self.workers = max(int(workers) if workers is not None else default, 1)
+        self.transport = resolve_transport(transport)
+        self.max_respawns = (
+            2 * self.workers + 2 if max_respawns is None else max(int(max_respawns), 0)
+        )
+        self._daemons: dict = {}
+        self._worker_ids = itertools.count()
+        self._task_fn = None
+        self._task_token: "int | None" = None
+        self._task_mode: "str | None" = None  # "pickle" | "image"
+        self._task_payload: "bytes | None" = None
+        #: Daemons ever spawned (persistent fleet + one-shot + respawns).
+        self.spawn_count = 0
+        #: Times a new task token was installed (first map = 1; +1 per
+        #: callable change; one-shot maps never bump it).
+        self.task_generations = 0
+        #: Worker deaths ever detected (mid-map and between maps).
+        self.worker_deaths = 0
+        #: Maps served by the persistent fleet without spawning anything.
+        self.reused_maps = 0
+        #: Maps executed on daemons (one-shot included).
+        self.maps = 0
+        #: Current persistent task token, mirrored in a mutable box so the
+        #: GC finalizer (which must not reference the host) can retire it.
+        self._token_box: list = [None]
+        _LIVE_HOSTS.add(self)
+        # A host dropped without shutdown() must not orphan its daemons:
+        # the finalizer reaps the fleet (and the image-task registration)
+        # at garbage collection, like the old fork pool's finalize did.
+        self._finalizer = weakref.finalize(
+            self, _reap_fleet_at_gc, self._daemons, self._token_box, self.transport
+        )
+
+    # -- availability --------------------------------------------------------
+
+    def available(self) -> bool:
+        """Whether the transport can launch workers on this platform."""
+        return self.transport.available()
+
+    def alive_workers(self) -> int:
+        """Live daemons in the persistent fleet (health-checked)."""
+        return sum(
+            1 for daemon in self._daemons.values() if daemon.process.is_alive()
+        )
+
+    def describe(self) -> str:
+        return f"{self.transport.describe()}×{self.workers}"
+
+    # -- task registration ---------------------------------------------------
+
+    def _ensure_task(self, fn, report: HostRunReport) -> None:
+        """Install ``fn`` as the fleet's task, reusing daemons when possible.
+
+        Caller holds the lifecycle lock.  Same callable → nothing to do
+        (the reuse path).  New callable → new token; transports that ship
+        callables deliver it to live daemons over the wire (no respawn),
+        fork-image transports dispose the fleet so the next spawn inherits
+        the new registration.
+        """
+        if self._task_fn is fn and self._task_token is not None:
+            return
+        report.task_registered = True
+        self.task_generations += 1
+        payload = None
+        if self.transport.ships_callable:
+            try:
+                payload = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                payload = None  # closures fall back to fork-image travel
+        token = next(_TASK_TOKENS)
+        if payload is None:
+            # The callable can only travel by fork memory image: dispose the
+            # fleet, register under the new token, and let the spawns below
+            # inherit it.
+            self._dispose_fleet()
+            self._retire_task()
+            _IMAGE_TASKS[token] = fn
+            self._task_mode = "image"
+        else:
+            # Remote-ready path: live daemons pick the new callable up over
+            # the wire (delivered lazily, per daemon, at first dispatch).
+            self._retire_task()
+            self._task_mode = "pickle"
+        self._task_fn = fn
+        self._task_token = token
+        self._token_box[0] = token
+        self._task_payload = payload
+
+    def _retire_task(self) -> None:
+        if self._task_token is not None:
+            _IMAGE_TASKS.pop(self._task_token, None)
+        self._task_token = None
+        self._token_box[0] = None
+        self._task_fn = None
+        self._task_mode = None
+        self._task_payload = None
+
+    # -- fleet management ----------------------------------------------------
+
+    def _spawn_daemon(self, report: "HostRunReport | None" = None) -> _Daemon:
+        process, conn = self.transport.spawn_worker()
+        daemon = _Daemon(next(self._worker_ids), process, conn)
+        self.spawn_count += 1
+        if report is not None:
+            report.spawned += 1
+        return daemon
+
+    def _prune_dead_daemons(self, report: HostRunReport) -> None:
+        """Drop fleet daemons that died between maps (e.g. SIGKILLed idle)."""
+        for worker_id, daemon in list(self._daemons.items()):
+            if daemon.process.is_alive():
+                continue
+            self.worker_deaths += 1
+            report.deaths += 1
+            try:
+                daemon.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            daemon.process.join(timeout=0.5)
+            del self._daemons[worker_id]
+
+    def _dispose_daemon(self, daemon: _Daemon) -> None:
+        try:
+            send_frame(daemon.conn, ("stop",))
+        except OSError:
+            pass
+        try:
+            daemon.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        daemon.process.join(timeout=0.2)
+        if daemon.process.is_alive():
+            daemon.process.terminate()
+            daemon.process.join(timeout=2.0)
+
+    def _dispose_fleet(self) -> None:
+        """Tear the persistent fleet down (task registration kept)."""
+        daemons = list(self._daemons.values())
+        self._daemons.clear()
+        for daemon in daemons:
+            self._dispose_daemon(daemon)
+
+    def shutdown(self) -> None:
+        """Reap every daemon and retire the task (idempotent, thread-safe)."""
+        with LIFECYCLE_LOCK:
+            self._dispose_fleet()
+            self._retire_task()
+            self.transport.close()
+
+    # -- the run loop --------------------------------------------------------
+
+    def run(self, fn, items, shards: list, steal=None, raise_original: bool = False) -> tuple:
+        """Execute planned shards of ``map(fn, items)`` on worker daemons.
+
+        Args:
+            fn: the task callable (``fn(item) -> result``; must be pure).
+            items: the full ordered item list the shards index into.
+            shards: :class:`Shard` plan covering every item exactly once.
+            steal: optional ``steal(view, worker_id) -> Shard | None`` hook
+                consulted for idle workers once the queue drains (see
+                :class:`SchedulerView`).
+            raise_original: re-raise a failing task's *original* exception
+                (when it pickled out of the worker) with the
+                :class:`WorkerTaskError` carrying the remote traceback
+                chained as its cause — the serial backend's semantics,
+                requested by the process backend so ``except KeyError:``
+                style callers behave identically across backends.  The
+                default raises :class:`WorkerTaskError` itself.
+
+        Returns:
+            ``(ordered_results, report)`` where ``ordered_results`` is
+            ``[fn(item) for item in items]`` and ``report`` is the run's
+            :class:`HostRunReport` (accepted worker seconds included).
+
+        Raises:
+            WorkerTaskError: the callable raised inside a daemon (or, with
+                ``raise_original``, the original exception re-raised).
+            RuntimeError: daemons kept dying beyond the respawn budget.
+        """
+        items = list(items)
+        report = HostRunReport()
+        if not shards:
+            return [], report
+        try:
+            items_payload_ok = True
+            pickle.dumps(items)
+        except Exception:
+            items_payload_ok = False
+        # Serialise whole maps end to end: the fork-inherited registries
+        # must stay stable while any daemon can be (re)spawned, and a
+        # persistent fleet must never run two maps at once.  Parallelism
+        # comes from the daemons inside one map, not from overlapping maps.
+        with LIFECYCLE_LOCK:
+            self.maps += 1
+            if items_payload_ok:
+                self._ensure_task(fn, report)
+                self._prune_dead_daemons(report)
+                token = self._task_token
+                reused = len(self._daemons)
+                report.reused_workers = reused
+                try:
+                    results = self._run_shards(
+                        items, shards, token, self._daemons, report, steal,
+                        one_shot=False, raise_original=raise_original,
+                    )
+                except BaseException:
+                    # The fleet may be in an arbitrary state (half-dead,
+                    # torn frames); dispose it so the next map starts clean.
+                    self._dispose_fleet()
+                    raise
+                if reused and not report.spawned:
+                    self.reused_maps += 1
+                _note_fleet_owner(self)
+                return results, report
+            # One-shot map: items ride the fork image under a dedicated
+            # token; ephemeral daemons are reaped at the end of the map and
+            # the persistent fleet (if any) stays intact for the next
+            # reusable map.
+            report.one_shot = True
+            token = next(_TASK_TOKENS)
+            _IMAGE_TASKS[token] = fn
+            _IMAGE_ITEMS[token] = items
+            try:
+                return (
+                    self._run_shards(
+                        items, shards, token, {}, report, steal,
+                        one_shot=True, raise_original=raise_original,
+                    ),
+                    report,
+                )
+            finally:
+                _IMAGE_TASKS.pop(token, None)
+                _IMAGE_ITEMS.pop(token, None)
+
+    def _run_shards(
+        self,
+        items: list,
+        shards: list,
+        token: int,
+        daemons: dict,
+        report: HostRunReport,
+        steal,
+        one_shot: bool,
+        raise_original: bool = False,
+    ) -> list:
+        """The event loop: dispatch, collect, survive deaths.  Caller holds
+        the lifecycle lock and has registered the task under ``token``."""
+        dispatch_order = sorted(shards, key=lambda shard: (-shard.cost, shard.index))
+        pending = deque(dispatch_order)
+        completed: dict = {}
+        in_flight: dict = {shard.index: set() for shard in shards}
+        shard_by_index = {shard.index: shard for shard in shards}
+        respawn_budget = self.max_respawns
+        selector = selectors.DefaultSelector()
+        failure: "BaseException | None" = None
+        dispatch_started: dict = {}  # (shard index, worker id) -> perf_counter
+        completed_durations: list = []  # wall seconds of accepted completions
+        view = SchedulerView(
+            shard_by_index=shard_by_index,
+            completed=completed,
+            in_flight=in_flight,
+            dispatch_started=dispatch_started,
+            completed_durations=completed_durations,
+        )
+
+        def spawn() -> _Daemon:
+            daemon = self._spawn_daemon(report)
+            daemons[daemon.worker_id] = daemon
+            selector.register(daemon.conn, selectors.EVENT_READ, daemon)
+            return daemon
+
+        def shard_frame(shard: Shard) -> tuple:
+            if one_shot:
+                return ("shard_image", token, shard.index, shard.item_indices)
+            pairs = [(index, items[index]) for index in shard.item_indices]
+            return ("shard", token, shard.index, pairs)
+
+        def dispatch(daemon: _Daemon) -> None:
+            shard = None
+            speculative = False
+            if pending:
+                shard = pending.popleft()
+            elif steal is not None:
+                shard = steal(view, daemon.worker_id)
+                speculative = shard is not None
+            if shard is None:
+                daemon.shard = None
+                return
+            daemon.shard = shard
+            in_flight[shard.index].add(daemon.worker_id)
+            dispatch_started[(shard.index, daemon.worker_id)] = time.perf_counter()
+            try:
+                if (
+                    self._task_mode == "pickle"
+                    and not one_shot
+                    and token not in daemon.shipped_tokens
+                ):
+                    send_frame(daemon.conn, ("task", token, self._task_payload))
+                    # Only the newest token can still be dispatched to this
+                    # daemon (and the daemon likewise dropped older
+                    # callables on receipt), so the set never grows.
+                    daemon.shipped_tokens = {token}
+                send_frame(daemon.conn, shard_frame(shard))
+            except OSError:
+                # The daemon died while idle (its EOF may still be queued in
+                # the selector); requeue the shard and repair the fleet
+                # instead of crashing the map.
+                on_death(daemon)
+                return
+            report.dispatched += 1
+            if speculative:
+                report.speculative += 1
+
+        def retire(daemon: _Daemon, requeue: bool) -> None:
+            if daemon.worker_id not in daemons:
+                return  # already retired (e.g. send failure then EOF event)
+            selector.unregister(daemon.conn)
+            daemon.conn.close()
+            daemons.pop(daemon.worker_id, None)
+            shard = daemon.shard
+            if shard is None:
+                return
+            in_flight[shard.index].discard(daemon.worker_id)
+            dispatch_started.pop((shard.index, daemon.worker_id), None)
+            if (
+                requeue
+                and shard.index not in completed
+                and not in_flight[shard.index]
+                and shard not in pending
+            ):
+                pending.appendleft(shard)  # lost work runs next
+                report.requeued += 1
+
+        def feed_idle() -> None:
+            for daemon in list(daemons.values()):
+                if not pending:
+                    break
+                if daemon.shard is None:
+                    dispatch(daemon)
+
+        def on_death(daemon: _Daemon) -> None:
+            # Shared by the EOF path and the dispatch send-failure path:
+            # requeue the lost shard, spawn a replacement within budget (so
+            # the fleet holds its configured width instead of shrinking for
+            # the rest of the map), and put any idle daemons back to work.
+            nonlocal respawn_budget
+            if daemon.worker_id not in daemons:
+                return  # both paths fired for the same death
+            self.worker_deaths += 1
+            report.deaths += 1
+            retire(daemon, requeue=True)
+            daemon.process.join(timeout=0.5)
+            if len(completed) < len(shards) and respawn_budget > 0:
+                respawn_budget -= 1
+                dispatch(spawn())
+            feed_idle()
+
+        try:
+            # Reused fleet daemons re-register with this run's selector;
+            # then top the fleet up to the plan's useful width.
+            for daemon in daemons.values():
+                daemon.shard = None
+                selector.register(daemon.conn, selectors.EVENT_READ, daemon)
+            wanted = min(self.workers, len(shards))
+            while len(daemons) < wanted:
+                spawn()
+            for daemon in list(daemons.values()):
+                dispatch(daemon)
+
+            while len(completed) < len(shards) and failure is None:
+                while not daemons:
+                    if respawn_budget <= 0:
+                        raise RuntimeError(
+                            "worker host: all daemons died and the respawn "
+                            f"budget ({self.max_respawns}) is exhausted"
+                        )
+                    respawn_budget -= 1
+                    dispatch(spawn())
+                idle = [
+                    daemon for daemon in daemons.values() if daemon.shard is None
+                ]
+                events = selector.select(timeout=0.05 if idle else 5.0)
+                if not events:
+                    # Idle daemons re-check the steal policy as in-flight
+                    # shards age into stragglers.
+                    for daemon in idle:
+                        dispatch(daemon)
+                    continue
+                for key, _ in events:
+                    daemon = key.data
+                    if daemon.worker_id not in daemons:
+                        continue  # retired earlier in this same event batch
+                    try:
+                        message = recv_frame(daemon.conn)
+                    except (EOFError, OSError):
+                        # Daemon death (killed, crashed, OOMed): requeue its
+                        # shard and spawn a replacement within budget.
+                        on_death(daemon)
+                        continue
+                    kind = message[0]
+                    if kind == "done":
+                        _, shard_index, elapsed, shard_results = message
+                        in_flight[shard_index].discard(daemon.worker_id)
+                        started = dispatch_started.pop(
+                            (shard_index, daemon.worker_id), None
+                        )
+                        if shard_index not in completed:
+                            completed[shard_index] = shard_results
+                            report.accepted_seconds += float(elapsed)
+                            if started is not None:
+                                completed_durations.append(
+                                    time.perf_counter() - started
+                                )
+                        daemon.shard = None
+                        dispatch(daemon)
+                    elif kind == "fail":
+                        _, shard_index, trace, exc_bytes = message
+                        in_flight[shard_index].discard(daemon.worker_id)
+                        dispatch_started.pop((shard_index, daemon.worker_id), None)
+                        if shard_index in completed or in_flight[shard_index]:
+                            # A duplicated attempt failed (e.g. memory
+                            # pressure from running the shard twice) while
+                            # the shard was already delivered — or still has
+                            # a live sibling attempt that may deliver it.
+                            # Not (yet) a map failure.
+                            daemon.shard = None
+                            dispatch(daemon)
+                            continue
+                        failure = WorkerTaskError(
+                            "task failed in worker daemon:\n" + trace
+                        )
+                        if raise_original and exc_bytes is not None:
+                            try:
+                                original = pickle.loads(exc_bytes)
+                            except Exception:
+                                pass  # keep the WorkerTaskError
+                            else:
+                                # Serial-backend semantics: the caller's
+                                # `except <OriginalType>:` must fire; the
+                                # remote traceback rides along as the cause.
+                                original.__cause__ = failure
+                                failure = original
+                        break
+                    else:  # pragma: no cover - protocol violation
+                        failure = WorkerTaskError(
+                            f"unexpected worker message {message[0]!r}"
+                        )
+                        break
+            if failure is not None:
+                raise failure
+        finally:
+            # Daemons still chewing a speculative duplicate whose shard was
+            # already accepted cannot be reused — their late reply would be
+            # misread as belonging to the next map — so they are reaped
+            # along with every one-shot daemon; idle persistent daemons
+            # stay in the fleet for the next map.
+            for daemon in list(daemons.values()):
+                selector.unregister(daemon.conn)
+                if one_shot or daemon.shard is not None:
+                    daemons.pop(daemon.worker_id, None)
+                    self._dispose_daemon(daemon)
+            selector.close()
+
+        ordered = [None] * len(items)
+        for shard in shards:
+            shard_results = completed[shard.index]
+            for item_index, value in zip(shard.item_indices, shard_results):
+                ordered[item_index] = value
+        return ordered

@@ -241,6 +241,12 @@ class RenderEngine:
             or ``None`` to consult the ``REPRO_BACKEND`` environment
             variable.  Chunks are pure and assembled in order, so every
             backend renders bit-identical images.
+        transport: worker-transport name (``"fork"`` / ``"tcp"``) handed to
+            the daemon-backed backends when one is resolved by name;
+            ``None`` consults ``REPRO_TRANSPORT``.  Ignored when a backend
+            *instance* is supplied (it already owns its transport) and by
+            the in-process backends; every transport renders bit-identical
+            images.
     """
 
     def __init__(
@@ -249,6 +255,7 @@ class RenderEngine:
         workers: "int | None" = None,
         cache: "RenderCache | None" = None,
         backend: "Backend | str | None" = None,
+        transport: "str | None" = None,
     ) -> None:
         if chunk_rays < 1:
             raise ValueError("chunk_rays must be positive")
@@ -257,7 +264,7 @@ class RenderEngine:
         self.chunk_rays = int(chunk_rays)
         self.workers = 1 if workers is None else int(workers)
         self.cache = cache
-        self.backend = resolve_backend(backend, workers=workers)
+        self.backend = resolve_backend(backend, workers=workers, transport=transport)
         self._stage_timer = None
         self._stage_name = None
 

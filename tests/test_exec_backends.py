@@ -142,9 +142,20 @@ class TestBackendMap:
         backend = ThreadBackend(workers=2)
         assert resolve_backend(backend) is backend
 
-    def test_resolve_unknown_name_raises(self):
-        with pytest.raises(ValueError):
+    def test_resolve_unknown_name_lists_every_valid_backend(self):
+        # Regression: the error must name every selectable backend,
+        # including the lazily imported cluster, so a typo in
+        # REPRO_BACKEND is self-diagnosing.
+        with pytest.raises(
+            ValueError, match=r"cluster, process, serial, thread"
+        ) as excinfo:
             resolve_backend("gpu")
+        assert "REPRO_BACKEND" in str(excinfo.value)
+
+    def test_resolve_unknown_env_value_raises_with_names(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ValueError, match="quantum"):
+            resolve_backend(None)
 
     def test_resolve_env_variable(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "serial")
@@ -560,6 +571,22 @@ class TestPersistentPool:
             assert not thread.is_alive(), "pooled map hung after a worker kill"
             assert outcome["results"] == [("ok", item) for item in items]
             assert backend.worker_revivals >= 1
+        finally:
+            backend.shutdown()
+
+    def test_task_exception_type_matches_serial(self):
+        # Error handling must not depend on REPRO_BACKEND: a failing task
+        # re-raises its original exception type, exactly like the serial
+        # and thread backends (the old multiprocessing.Pool's semantics).
+        def boom(x):
+            if x == 2:
+                raise KeyError("missing-key")
+            return x
+
+        backend = ProcessBackend(workers=2)
+        try:
+            with pytest.raises(KeyError, match="missing-key"):
+                backend.map(boom, [0, 1, 2, 3])
         finally:
             backend.shutdown()
 

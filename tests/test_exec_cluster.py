@@ -290,9 +290,16 @@ class TestShardCountInvariance:
     def serial_record(self):
         return _report_record(_run_golden_pipeline(SerialBackend()))
 
+    @pytest.mark.parametrize("transport", ["fork", "tcp"])
     @pytest.mark.parametrize("workers", [1, 2, 5])
-    def test_cluster_matches_serial_bit_identically(self, serial_record, workers):
-        record = _report_record(_run_golden_pipeline(ClusterBackend(workers=workers)))
+    def test_cluster_matches_serial_bit_identically(
+        self, serial_record, workers, transport
+    ):
+        backend = ClusterBackend(workers=workers, transport=transport)
+        try:
+            record = _report_record(_run_golden_pipeline(backend))
+        finally:
+            backend.shutdown()
         assert record == serial_record
 
     def test_cluster_with_store_matches_serial(self, serial_record, tmp_path, monkeypatch):

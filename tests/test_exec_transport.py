@@ -1,0 +1,383 @@
+"""Tests for the transport layer and the shared worker-daemon lifecycle.
+
+Pins the tentpole contract of the transport refactor: the frame protocol
+round-trips, transports resolve by name and environment, and the
+:class:`~repro.exec.WorkerHost` owns the lifecycle both parallel backends
+share — persistent daemons reused across maps through the callable-token
+registry (zero respawns when the callable is unchanged), transparent
+respawn after a SIGKILL between maps, chronic death surfacing as an error,
+and the TCP transport shipping picklable callables to live daemons without
+a respawn (the remote-ready path).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ClusterBackend,
+    ForkSocketpairTransport,
+    ProcessBackend,
+    Shard,
+    TcpTransport,
+    Transport,
+    TRANSPORTS,
+    WorkerHost,
+    WorkerTaskError,
+    fork_available,
+    resolve_transport,
+)
+from repro.exec.transport import recv_frame, send_frame
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs fork")
+
+BOTH_TRANSPORTS = ["fork", "tcp"]
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol
+# ---------------------------------------------------------------------------
+
+
+class TestFrameProtocol:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = ("shard", 3, 0, [(0, np.arange(4)), (1, "x")])
+            send_frame(a, message)
+            received = recv_frame(b)
+            assert received[0] == "shard" and received[1] == 3
+            assert np.array_equal(received[3][0][1], np.arange(4))
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(EOFError):
+            recv_frame(b)
+        b.close()
+
+    def test_unpicklable_send_leaves_no_torn_frame(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(Exception):
+                send_frame(a, ("bad", threading.Lock()))
+            # The stream is still clean: a well-formed frame follows.
+            send_frame(a, ("ok",))
+            assert recv_frame(b) == ("ok",)
+        finally:
+            a.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# Transport resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolveTransport:
+    def test_registry_names(self):
+        assert set(TRANSPORTS) == {"fork", "tcp"}
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_transport("fork"), ForkSocketpairTransport)
+        assert isinstance(resolve_transport("tcp"), TcpTransport)
+
+    def test_instance_passthrough(self):
+        transport = TcpTransport()
+        assert resolve_transport(transport) is transport
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "tcp")
+        assert resolve_transport(None).name == "tcp"
+        monkeypatch.delenv("REPRO_TRANSPORT")
+        assert resolve_transport(None).name == "fork"
+
+    def test_unknown_name_lists_valid_transports(self):
+        with pytest.raises(ValueError, match="fork, tcp"):
+            resolve_transport("carrier-pigeon")
+
+    def test_backends_accept_transport(self):
+        process = ProcessBackend(workers=2, transport="tcp")
+        cluster = ClusterBackend(workers=2, transport="fork")
+        assert process.transport.name == "tcp"
+        assert cluster.transport.name == "fork"
+        assert isinstance(process.transport, Transport)
+
+
+# ---------------------------------------------------------------------------
+# Worker-host lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _pid_task(x):
+    """Module-level (hence picklable) task with stable identity."""
+    return (os.getpid(), x * 2)
+
+
+def _pid_task_other(x):
+    return (os.getpid(), x + 1000)
+
+
+def one_item_shards(count: int) -> list:
+    return [Shard(index=i, item_indices=(i,), cost=1.0) for i in range(count)]
+
+
+@needs_fork
+class TestWorkerHostReuse:
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_daemons_reused_across_maps_same_callable(self, transport):
+        """The acceptance contract: zero respawns on the second map."""
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            items = list(range(8))
+            first, report_a = host.run(_pid_task, items, one_item_shards(8))
+            assert [v for _, v in first] == [x * 2 for x in items]
+            assert report_a.spawned == 2 and host.spawn_count == 2
+            second, report_b = host.run(_pid_task, items, one_item_shards(8))
+            assert [v for _, v in second] == [x * 2 for x in items]
+            # Same callable: nothing respawned, the same daemons served it.
+            assert report_b.spawned == 0
+            assert report_b.reused_workers == 2
+            assert host.spawn_count == 2
+            assert host.reused_maps == 1
+            assert {pid for pid, _ in second} <= {pid for pid, _ in first}
+        finally:
+            host.shutdown()
+
+    def test_fork_transport_respawns_on_callable_change(self):
+        host = WorkerHost(transport="fork", workers=2)
+        try:
+            host.run(_pid_task, [1, 2, 3, 4], one_item_shards(4))
+            assert host.task_generations == 1 and host.spawn_count == 2
+            results, report = host.run(_pid_task_other, [1, 2], one_item_shards(2))
+            assert [v for _, v in results] == [1001, 1002]
+            # The fork transport cannot ship a callable to a live daemon.
+            assert host.task_generations == 2
+            assert report.task_registered and report.spawned == 2
+        finally:
+            host.shutdown()
+
+    def test_tcp_transport_ships_new_callable_without_respawn(self):
+        host = WorkerHost(transport="tcp", workers=2)
+        try:
+            first, _ = host.run(_pid_task, [1, 2, 3, 4], one_item_shards(4))
+            assert host.spawn_count == 2
+            second, report = host.run(_pid_task_other, [1, 2, 3, 4], one_item_shards(4))
+            assert [v for _, v in second] == [1001, 1002, 1003, 1004]
+            # The callable crossed the wire by pickle: the daemons that ran
+            # the first map ran the second, and nothing was respawned.
+            assert report.task_registered and report.spawned == 0
+            assert host.spawn_count == 2
+            assert {pid for pid, _ in second} <= {pid for pid, _ in first}
+        finally:
+            host.shutdown()
+
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_unpicklable_callable_falls_back_to_fork_image(self, transport):
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            weights = np.arange(8, dtype=np.float64)
+            closure = lambda x: float(weights[x] + x)  # noqa: E731
+            results, _ = host.run(closure, list(range(8)), one_item_shards(8))
+            assert results == [float(2 * x) for x in range(8)]
+        finally:
+            host.shutdown()
+
+    def test_one_shot_items_leave_fleet_intact(self):
+        host = WorkerHost(transport="fork", workers=2)
+        try:
+            host.run(_pid_task, [1, 2, 3, 4], one_item_shards(4))
+            generations = host.task_generations
+            spawned = host.spawn_count
+            lock = threading.Lock()
+            items = [(lock, value) for value in range(4)]
+            results, report = host.run(
+                lambda item: item[1] * 3, items, one_item_shards(4)
+            )
+            assert results == [0, 3, 6, 9]
+            assert report.one_shot
+            # One-shot daemons are extra spawns, but the persistent fleet
+            # and its task registration survive for the next reusable map.
+            assert host.task_generations == generations
+            assert host.spawn_count == spawned + 2
+            _, report = host.run(_pid_task, [5, 6], one_item_shards(2))
+            assert report.spawned == 0 and report.reused_workers == 2
+        finally:
+            host.shutdown()
+
+
+@needs_fork
+class TestWorkerHostFailure:
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_sigkill_between_maps_respawns_transparently(self, transport):
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            first, _ = host.run(_pid_task, list(range(8)), one_item_shards(8))
+            victim = sorted({pid for pid, _ in first})[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.time() + 10.0
+            while host.alive_workers() > 1 and time.time() < deadline:
+                time.sleep(0.02)
+            second, report = host.run(_pid_task, list(range(8)), one_item_shards(8))
+            assert [v for _, v in second] == [x * 2 for x in range(8)]
+            assert host.worker_deaths >= 1
+            assert report.spawned >= 1  # the replacement
+            assert victim not in {pid for pid, _ in second}
+        finally:
+            host.shutdown()
+
+    def test_chronic_death_raises(self):
+        def die(x):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        host = WorkerHost(transport="fork", workers=2, max_respawns=2)
+        try:
+            with pytest.raises(RuntimeError, match="respawn"):
+                host.run(die, list(range(6)), one_item_shards(6))
+        finally:
+            host.shutdown()
+
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_task_error_raises_worker_task_error(self, transport):
+        def boom(x):
+            if x == 3:
+                raise ValueError("worker task failed")
+            return x
+
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            with pytest.raises(WorkerTaskError, match="worker task failed"):
+                host.run(boom, list(range(6)), one_item_shards(6))
+            # The host stays usable after a failed map.
+            results, _ = host.run(_pid_task, [1, 2], one_item_shards(2))
+            assert [v for _, v in results] == [2, 4]
+        finally:
+            host.shutdown()
+
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_raise_original_restores_exception_type(self, transport):
+        def boom(x):
+            if x == 1:
+                raise KeyError("lost-key")
+            return x
+
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            with pytest.raises(KeyError, match="lost-key") as excinfo:
+                host.run(boom, [0, 1, 2, 3], one_item_shards(4), raise_original=True)
+            # The remote traceback rides along as the cause.
+            assert isinstance(excinfo.value.__cause__, WorkerTaskError)
+        finally:
+            host.shutdown()
+
+    def test_gc_without_shutdown_reaps_daemons(self):
+        # Regression: a host dropped without shutdown() must not orphan
+        # its fleet (the old fork pool reaped at GC via weakref.finalize).
+        import gc
+
+        host = WorkerHost(transport="fork", workers=2)
+        results, _ = host.run(_pid_task, list(range(4)), one_item_shards(4))
+        pids = {pid for pid, _ in results}
+        del host
+        gc.collect()
+        for pid in pids:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                try:
+                    os.kill(pid, 0)
+                    time.sleep(0.02)
+                except OSError:
+                    break
+            else:
+                pytest.fail(f"daemon {pid} survived host garbage collection")
+
+    def test_fork_worker_exits_when_scheduler_side_closes(self):
+        # Regression: the worker must not inherit a dup of its *own*
+        # scheduler-side socket, or the scheduler-died EOF never fires.
+        transport = ForkSocketpairTransport()
+        process, conn = transport.spawn_worker()
+        try:
+            conn.close()  # no "stop" frame — simulate a dead scheduler
+            process.join(timeout=5.0)
+            assert not process.is_alive(), (
+                "fork worker kept running after its scheduler connection "
+                "closed — it is holding the socketpair open itself"
+            )
+        finally:
+            if process.is_alive():  # pragma: no cover - failure path
+                process.terminate()
+                process.join(timeout=2.0)
+
+    def test_shutdown_reaps_daemons_and_listener(self):
+        transport = TcpTransport()
+        host = WorkerHost(transport=transport, workers=2)
+        results, _ = host.run(_pid_task, list(range(4)), one_item_shards(4))
+        pids = {pid for pid, _ in results}
+        assert transport.port is not None
+        host.shutdown()
+        for pid in pids:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                try:
+                    os.kill(pid, 0)
+                    time.sleep(0.02)
+                except OSError:
+                    break
+            else:
+                pytest.fail(f"daemon {pid} survived shutdown")
+        assert transport.port is None  # listener released
+
+
+# ---------------------------------------------------------------------------
+# Cluster daemons are persistent too (the tentpole's headline behaviour)
+# ---------------------------------------------------------------------------
+
+
+def _cluster_reuse_task(x):
+    return (os.getpid(), x * 7)
+
+
+@needs_fork
+class TestClusterDaemonReuse:
+    @pytest.mark.parametrize("transport", BOTH_TRANSPORTS)
+    def test_consecutive_maps_respawn_nothing(self, transport):
+        backend = ClusterBackend(workers=2, transport=transport)
+        try:
+            first = backend.map(_cluster_reuse_task, list(range(12)))
+            assert [v for _, v in first] == [x * 7 for x in range(12)]
+            spawned = backend.stats.workers_spawned
+            assert spawned == 2
+            second = backend.map(_cluster_reuse_task, list(range(12, 24)))
+            assert [v for _, v in second] == [x * 7 for x in range(12, 24)]
+            # The acceptance criterion: daemons reused, respawn count zero.
+            assert backend.stats.workers_spawned == spawned
+            assert backend.stats.maps_reusing_daemons == 1
+            assert backend.host.reused_maps == 1
+            assert {pid for pid, _ in second} <= {pid for pid, _ in first}
+        finally:
+            backend.shutdown()
+
+    def test_sigkill_between_cluster_maps_is_transparent(self):
+        backend = ClusterBackend(workers=2, transport="fork")
+        try:
+            first = backend.map(_cluster_reuse_task, list(range(8)))
+            victim = sorted({pid for pid, _ in first})[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.time() + 10.0
+            while backend.host.alive_workers() > 1 and time.time() < deadline:
+                time.sleep(0.02)
+            second = backend.map(_cluster_reuse_task, list(range(8)))
+            assert [v for _, v in second] == [x * 7 for x in range(8)]
+            assert backend.stats.worker_deaths >= 1
+        finally:
+            backend.shutdown()
