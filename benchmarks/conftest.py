@@ -34,6 +34,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.config import env as repro_env
 from repro.baselines import (
     BlockNeRFBaseline,
     MipNeRF360Emulator,
@@ -55,16 +56,12 @@ from repro.scenes.dataset import generate_dataset
 from repro.scenes.library import make_realworld_scene, make_simulated_scene
 from repro.utils.image import bbox_from_mask, crop_to_bbox
 
-def _env_flag(name: str) -> bool:
-    """One parser for the suite's boolean environment knobs."""
-    return os.environ.get(name, "0") not in ("0", "", "false", "False")
-
-
 #: Fast mode: smaller resolutions and shorter simulated traces, for local
 #: iteration on the benchmark suite itself (REPRO_BENCH_QUICK=1).  The
 #: default remains full fidelity, so the figures reproduced by CI / tier-1
-#: match EXPERIMENTS.md.
-QUICK_MODE = _env_flag("REPRO_BENCH_QUICK")
+#: match EXPERIMENTS.md.  All knobs are read through the typed registry
+#: (:mod:`repro.config.env`), which owns each variable's default + parser.
+QUICK_MODE = repro_env.REPRO_BENCH_QUICK.get()
 
 #: Image resolution of the generated datasets (training and scene-level test
 #: views).  The paper renders at ~800 px on-device; this reproduction scores
@@ -74,14 +71,14 @@ DATASET_RESOLUTION = 96 if QUICK_MODE else 128
 NUM_TRAIN_VIEWS = 6
 NUM_TEST_VIEWS = 2
 
-FULL_SWEEP = _env_flag("REPRO_FULL")
+FULL_SWEEP = repro_env.REPRO_FULL.get()
 
 #: Warm-store mode (REPRO_REQUIRE_WARM=1): assert at session end that every
 #: profile curve and baked model was served from the (disk-backed) artifact
 #: store — i.e. this was a second invocation against a populated
 #: REPRO_ARTIFACT_DIR and the store recomputed nothing.  CI's warm-store
 #: job runs the quick figure suite twice this way.
-REQUIRE_WARM = _env_flag("REPRO_REQUIRE_WARM")
+REQUIRE_WARM = repro_env.REPRO_REQUIRE_WARM.get()
 
 
 def make_pipeline_config() -> PipelineConfig:
@@ -127,7 +124,7 @@ _BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
 def _bench_suite_name() -> str:
-    explicit = os.environ.get("REPRO_BENCH_SUITE")
+    explicit = repro_env.REPRO_BENCH_SUITE.get()
     if explicit:
         return explicit
     return "quick" if QUICK_MODE else "figures"
@@ -191,7 +188,7 @@ def pytest_sessionfinish(session, exitstatus):
         "artifact_store": store_info,
         "tests": list(_BENCH_RECORDS),
     }
-    out_dir = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    out_dir = repro_env.REPRO_BENCH_DIR.get() or os.getcwd()
     out_path = os.path.join(out_dir, f"BENCH_{payload['suite']}.json")
     try:
         os.makedirs(out_dir, exist_ok=True)

@@ -55,12 +55,11 @@ def test_table1_quality_metrics(harness, benchmark):
     assert mobilenerf["ssim"] <= min(mip["ssim"], ngp["ssim"]) + 0.01
     # NGP (stronger network) is at least as good as Mip-NeRF 360.  The
     # ordering of the two workstation emulators is resolution-sensitive, so
-    # it is only asserted at full fidelity (read the env knob directly to
-    # avoid re-importing the conftest as a second module instance).
-    import os
+    # it is only asserted at full fidelity (read the registry knob directly
+    # to avoid re-importing the conftest as a second module instance).
+    from repro.config import env as repro_env
 
-    quick_mode = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false", "False")
-    if not quick_mode:
+    if not repro_env.REPRO_BENCH_QUICK.get():
         assert ngp["ssim"] >= mip["ssim"] - 0.005
 
     # Benchmark one metric evaluation (SSIM+PSNR+LPIPS on a test view).

@@ -1,0 +1,126 @@
+"""Command line of the project linter.
+
+Usage::
+
+    python -m repro.analysis [paths...]        # lint (default: src tests benchmarks)
+    python -m repro.analysis --json ...        # machine-readable findings
+    python -m repro.analysis --write-baseline  # accept current findings
+    python -m repro.analysis --env-table       # print the env-var reference table
+    python -m repro.analysis --list-rules      # print the rule catalog
+
+Exit status: 0 when every finding is baselined or inline-allowed, 1 when
+any new finding exists, 2 on usage errors.  CI's ``lint`` job runs the
+default invocation from the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import all_rules
+from repro.config.env import env_table_markdown
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint of the project's determinism, fork-safety, "
+        "lock-discipline and env-hygiene invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME, metavar="PATH",
+        help="baseline file of accepted findings (default: "
+        f"{DEFAULT_BASELINE_NAME}; a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write every current finding to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON on stdout",
+    )
+    parser.add_argument(
+        "--env-table", action="store_true",
+        help="print the environment-variable reference table and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+
+    if args.env_table:
+        print(env_table_markdown())
+        return 0
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.severity:<7}  {rule.title}")
+        return 0
+
+    try:
+        baseline = Baseline.load(args.baseline)
+    except (ValueError, OSError) as error:
+        print(f"error: cannot read baseline {args.baseline}: {error}",
+              file=sys.stderr)
+        return 2
+
+    result = analyze_paths(args.paths, rules, baseline=baseline)
+
+    if args.write_baseline:
+        updated = Baseline.from_findings(
+            list(result.findings) + list(result.baselined),
+            reason="TODO: justify this accepted finding",
+        )
+        # Keep the human-written reasons of entries that still match.
+        previous = {entry.key(): entry for entry in baseline.entries}
+        updated.entries = [
+            previous.get(entry.key(), entry) for entry in updated.entries
+        ]
+        updated.save(args.baseline)
+        print(
+            f"wrote {len(updated)} accepted finding(s) to {args.baseline} "
+            f"({result.files_checked} files checked)"
+        )
+        return 0
+
+    if args.as_json:
+        print(json.dumps(result.as_dict(rules), indent=2))
+        return result.exit_code
+
+    for finding in result.findings:
+        print(finding.format())
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{len(result.findings)} new finding(s), "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.findings:
+        print(summary)
+        print(
+            "fix the findings, waive one deliberately with an inline "
+            "'# repro-analysis: allow=<rule> <reason>' comment, or accept "
+            "pre-existing debt via --write-baseline (with a reason)."
+        )
+    else:
+        print(summary)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""The checked-in baseline of accepted pre-existing findings.
+
+Turning a new rule on must not block CI until every historical hit is
+fixed: hits that are triaged as "accepted for now" are recorded here —
+one entry per finding with a mandatory human reason — and stop gating.
+Entries match on ``(rule, path, message)`` but deliberately **not** on
+line numbers, so unrelated edits to a file cannot invalidate them; a
+baselined finding disappears from the file the moment the code is fixed
+(``--write-baseline`` prunes it) and can never hide a *new* finding with
+a different message or in a different file.
+
+Format (``.analysis-baseline.json`` at the repository root)::
+
+    {"version": 1,
+     "entries": [{"rule": "REP-D105", "path": "src/...", "message": "...",
+                  "reason": "why this is accepted"}]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+#: Default baseline location, relative to the invocation directory.
+DEFAULT_BASELINE_NAME = ".analysis-baseline.json"
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    def key(self) -> tuple:
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings, matched by ``(rule, path, message)``."""
+
+    entries: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._keys = {entry.key() for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding) -> bool:
+        return (finding.rule, finding.path, finding.message) in self._keys
+
+    @classmethod
+    def from_findings(cls, findings, reason: str = "") -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        seen, entries = set(), []
+        for finding in findings:
+            entry = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                message=finding.message,
+                reason=reason,
+            )
+            if entry.key() not in seen:
+                seen.add(entry.key())
+                entries.append(entry)
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path} (expected {FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                message=str(entry["message"]),
+                reason=str(entry.get("reason", "")),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                entry.as_dict()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")

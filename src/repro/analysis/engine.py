@@ -1,0 +1,272 @@
+"""The AST lint engine: findings, rule protocol, file walking, suppression.
+
+The engine is deliberately small: a :class:`Rule` receives one parsed
+module (:class:`ModuleContext`) and yields :class:`Finding` objects; the
+engine walks the requested paths, parses each ``*.py`` once, runs every
+registered rule over it, and applies the two suppression layers —
+
+* **inline allows** — a ``# repro-analysis: allow=REP-X123 <reason>``
+  comment on the offending line waives that rule there forever (used for
+  deliberate, reviewed exceptions such as the TCP handshake secret);
+* **the baseline** (:mod:`repro.analysis.baseline`) — a checked-in list of
+  accepted pre-existing findings, so turning a new rule on does not block
+  CI until every historical hit is fixed.
+
+Rules live in :mod:`repro.analysis.rules`; the command line in
+:mod:`repro.analysis.__main__`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Finding severities, in increasing order of concern.  Both gate CI — the
+#: split only signals how directly a finding can corrupt a golden artefact.
+SEVERITIES = ("warning", "error")
+
+#: Package directories whose modules produce (or key) golden artefacts;
+#: the determinism rule family applies only inside them.  Matched on path
+#: segments, so fixtures under ``tmp/src/repro/core/`` scope identically.
+GOLDEN_PACKAGES = (
+    ("repro", "core"),
+    ("repro", "exec"),
+    ("repro", "render"),
+    ("repro", "baking"),
+)
+
+#: Inline suppression: ``# repro-analysis: allow=REP-D101 reason...`` or
+#: ``allow=REP-D101,REP-E401``.  Trailing comments waive the same line; a
+#: comment-only line waives the line that follows it.
+_ALLOW_RE = re.compile(r"#\s*repro-analysis:\s*allow=([A-Z0-9,\-]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """One named invariant, checked per module.
+
+    Subclasses set ``rule_id`` (stable, never reused), ``title`` and
+    ``severity``, and implement :meth:`check` to yield findings.  Rules
+    must not mutate the context.
+    """
+
+    rule_id: str = "REP-0000"
+    title: str = ""
+    severity: str = "error"
+
+    def check(self, module: "ModuleContext"):
+        raise NotImplementedError
+
+    def finding(self, module: "ModuleContext", node, message: str) -> Finding:
+        """A finding of this rule at an AST node's location."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus the location facts rules key on."""
+
+    path: str  # normalised to forward slashes, as given on the CLI
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule ids waived by an inline allow comment
+    allows: dict = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple:
+        return tuple(part for part in self.path.split("/") if part)
+
+    def _has_package(self, package: tuple) -> bool:
+        parts = self.parts
+        span = len(package)
+        return any(
+            parts[i : i + span] == package
+            for i in range(len(parts) - span + 1)
+        )
+
+    @property
+    def in_golden_scope(self) -> bool:
+        """Whether this module belongs to a golden-artefact package."""
+        return any(self._has_package(pkg) for pkg in GOLDEN_PACKAGES)
+
+    @property
+    def is_env_registry(self) -> bool:
+        """Whether this is ``repro/config/env.py`` — the one module allowed
+        to read ``os.environ``."""
+        return self._has_package(("repro", "config")) and self.parts[-1] == "env.py"
+
+    def allowed(self, finding: Finding) -> bool:
+        return finding.rule in self.allows.get(finding.line, ())
+
+
+def _parse_allows(source: str) -> dict:
+    """Map line number -> rule ids waived by inline allow comments."""
+    allows: dict = {}
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if not match:
+                continue
+            rules = {r for r in match.group(1).split(",") if r}
+            line = token.start[0]
+            allows.setdefault(line, set()).update(rules)
+            # A comment-only line waives the statement below it (multi-line
+            # allow blocks chain naturally: each line waives the next).
+            prefix = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+            if not prefix.strip():
+                allows.setdefault(line + 1, set()).update(rules)
+    except tokenize.TokenizeError:  # pragma: no cover - unparseable comments
+        pass
+    return allows
+
+
+def load_module(path: str, source: "str | None" = None) -> "ModuleContext | None":
+    """Parse one file into a :class:`ModuleContext` (``None`` on syntax error).
+
+    Unparseable files are skipped rather than reported: the interpreter and
+    the test tier already police syntax, and the linter must stay usable on
+    trees with in-progress files.
+    """
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    return ModuleContext(
+        path=path.replace(os.sep, "/"),
+        source=source,
+        tree=tree,
+        allows=_parse_allows(source),
+    )
+
+
+def iter_python_files(paths) -> list:
+    """Every ``*.py`` file under the given files/directories, sorted,
+    skipping hidden directories and ``__pycache__``."""
+    found = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return sorted(set(found))
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one lint run produced, before and after suppression."""
+
+    findings: list = field(default_factory=list)  # gating (new) findings
+    baselined: list = field(default_factory=list)  # matched baseline entries
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def as_dict(self, rules) -> dict:
+        return {
+            "version": 1,
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "title": rule.title,
+                    "severity": rule.severity,
+                }
+                for rule in rules
+            ],
+            "summary": {
+                "files": self.files_checked,
+                "new": len(self.findings),
+                "baselined": len(self.baselined),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+        }
+
+
+def analyze_module(module: ModuleContext, rules) -> list:
+    """All non-inline-suppressed findings of ``rules`` against one module."""
+    findings = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not module.allowed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_paths(paths, rules, baseline=None) -> AnalysisResult:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Args:
+        paths: files and/or directories.
+        rules: rule instances to run.
+        baseline: optional :class:`repro.analysis.baseline.Baseline`;
+            matched findings are reported separately and do not gate.
+    """
+    result = AnalysisResult()
+    for file_path in iter_python_files(paths):
+        module = load_module(file_path)
+        if module is None:
+            continue
+        result.files_checked += 1
+        for finding in analyze_module(module, rules):
+            if baseline is not None and baseline.matches(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.baselined.sort()
+    return result

@@ -1,0 +1,11 @@
+"""Typed runtime configuration for the reproduction.
+
+The only module here is :mod:`repro.config.env` — the registry of every
+environment variable the library and its test/benchmark harnesses read.
+All ``os.environ`` access goes through it; raw reads elsewhere are a
+static-analysis finding (rule ``REP-E401`` in :mod:`repro.analysis`).
+"""
+
+from repro.config import env
+
+__all__ = ["env"]

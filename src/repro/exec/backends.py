@@ -50,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.config import env as repro_env
 from repro.exec.transport import (  # noqa: F401  (re-exported API)
     fork_available,
     in_worker_process,
@@ -61,12 +62,13 @@ from repro.exec.worker import (
 )
 
 #: Environment variable that overrides the default backend selection.
-BACKEND_ENV_VAR = "REPRO_BACKEND"
+BACKEND_ENV_VAR = repro_env.REPRO_BACKEND.name
 
 #: Backend used when neither the caller nor the environment picks one.  The
 #: thread backend with one worker degenerates to the serial loop, so the
-#: default is behaviour-preserving.
-DEFAULT_BACKEND_NAME = "thread"
+#: default is behaviour-preserving.  Declared (with the parser) in
+#: :mod:`repro.config.env`, the registry every environment read goes through.
+DEFAULT_BACKEND_NAME = repro_env.REPRO_BACKEND.default
 
 
 def fresh_seed_root() -> int:
@@ -302,7 +304,7 @@ def resolve_backend(backend=None, workers: "int | None" = None, transport=None) 
         return backend
     name = backend
     if name is None:
-        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND_NAME
+        name = repro_env.REPRO_BACKEND.get()
     name = str(name).strip().lower()
     if name not in BACKENDS and name in LAZY_BACKENDS:
         # The cluster backend lives in its own module (it pulls in the

@@ -53,17 +53,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import env as repro_env
+
 #: Environment variable naming the on-disk artifact directory.  When unset,
 #: callers that *opt in* to persistence (e.g. ``create_artifact_store``
 #: with ``directory="auto"``) fall back to :func:`default_artifact_dir`.
-ARTIFACT_DIR_ENV_VAR = "REPRO_ARTIFACT_DIR"
+ARTIFACT_DIR_ENV_VAR = repro_env.REPRO_ARTIFACT_DIR.name
 
 #: Environment variable bounding the on-disk store size, in megabytes.
-ARTIFACT_MAX_MB_ENV_VAR = "REPRO_ARTIFACT_MAX_MB"
+ARTIFACT_MAX_MB_ENV_VAR = repro_env.REPRO_ARTIFACT_MAX_MB.name
 
 #: Default on-disk bound: generous for a benchmark suite (a full figure
-#: session stores well under 1 GB of profiles and baked models).
-DEFAULT_MAX_BYTES = 4 << 30
+#: session stores well under 1 GB of profiles and baked models).  Declared
+#: (with the MiB parser) in :mod:`repro.config.env`.
+DEFAULT_MAX_BYTES = repro_env.REPRO_ARTIFACT_MAX_MB.default
 
 #: File magic: identifies repro artefact containers.
 MAGIC = b"REPROART"
@@ -404,7 +407,7 @@ class DiskStoreStats:
 
 def default_artifact_dir() -> str:
     """The default persistent cache directory (``~/.cache/repro``)."""
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+    base = repro_env.XDG_CACHE_HOME.get() or os.path.join(
         os.path.expanduser("~"), ".cache"
     )
     return os.path.join(base, "repro")
@@ -412,19 +415,12 @@ def default_artifact_dir() -> str:
 
 def artifact_dir_from_env() -> "str | None":
     """The directory named by ``$REPRO_ARTIFACT_DIR``, if any."""
-    directory = os.environ.get(ARTIFACT_DIR_ENV_VAR, "").strip()
-    return directory or None
+    return repro_env.REPRO_ARTIFACT_DIR.get()
 
 
 def max_bytes_from_env() -> int:
     """On-disk size bound from ``$REPRO_ARTIFACT_MAX_MB`` (default 4 GiB)."""
-    raw = os.environ.get(ARTIFACT_MAX_MB_ENV_VAR, "").strip()
-    if not raw:
-        return DEFAULT_MAX_BYTES
-    try:
-        return max(int(float(raw) * (1 << 20)), 1 << 20)
-    except ValueError:
-        return DEFAULT_MAX_BYTES
+    return repro_env.REPRO_ARTIFACT_MAX_MB.get()
 
 
 class DiskArtifactStore:

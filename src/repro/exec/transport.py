@@ -75,12 +75,15 @@ import time
 import traceback
 import weakref
 
+from repro.config import env as repro_env
+
 #: Environment variable selecting the worker transport by name.
-TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+TRANSPORT_ENV_VAR = repro_env.REPRO_TRANSPORT.name
 
 #: Transport used when neither the caller nor the environment picks one —
-#: the socketpair+fork behaviour the backends have always had.
-DEFAULT_TRANSPORT_NAME = "fork"
+#: the socketpair+fork behaviour the backends have always had.  Declared in
+#: :mod:`repro.config.env`, the registry every environment read goes through.
+DEFAULT_TRANSPORT_NAME = repro_env.REPRO_TRANSPORT.default
 
 #: One lock for every fork (and every mutation of the fork-inherited task
 #: registries) in the execution layer: the registries must stay stable for a
@@ -369,6 +372,7 @@ class TcpTransport(Transport):
     def spawn_worker(self) -> tuple:
         listener = self._ensure_listener()
         port = listener.getsockname()[1]
+        # repro-analysis: allow=REP-D105 handshake secret — authenticates the connect-back socket, never flows into any artefact or RNG stream
         secret = os.urandom(16)
         context = multiprocessing.get_context("fork")
         process = context.Process(
@@ -439,7 +443,7 @@ def resolve_transport(transport=None) -> Transport:
         return transport
     name = transport
     if name is None:
-        name = os.environ.get(TRANSPORT_ENV_VAR) or DEFAULT_TRANSPORT_NAME
+        name = repro_env.REPRO_TRANSPORT.get()
     name = str(name).strip().lower()
     if name not in TRANSPORTS:
         raise ValueError(

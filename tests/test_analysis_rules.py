@@ -1,0 +1,510 @@
+"""Fixture tests for every lint rule in :mod:`repro.analysis.rules`.
+
+Each rule gets known-bad snippets (must produce exactly its finding) and
+known-good snippets (must stay clean), including regression fixtures that
+reproduce the shapes of the PR 4 ``shard_rng(None, i)`` seed-aliasing bug
+and the PR 3 ``hash()``-in-store-keys bug — the two incidents this
+subsystem exists to catch at lint time instead of golden-test time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_rules, analyze_module, load_module
+
+#: A path inside a golden-artefact package (determinism rules apply).
+GOLDEN_PATH = "src/repro/exec/fixture.py"
+#: A path outside every golden package (determinism rules do not apply).
+PLAIN_PATH = "src/repro/scenes/fixture.py"
+
+
+def lint(source: str, path: str = GOLDEN_PATH) -> list:
+    module = load_module(path, source=source)
+    assert module is not None, "fixture must parse"
+    return analyze_module(module, all_rules())
+
+
+def rule_ids(source: str, path: str = GOLDEN_PATH) -> list:
+    return [finding.rule for finding in lint(source, path)]
+
+
+# ---------------------------------------------------------------------------
+# REP-D101 / REP-D102 — hash() / id()
+# ---------------------------------------------------------------------------
+
+class TestHashAndId:
+    def test_pr3_hash_key_regression_is_flagged(self):
+        # Regression fixture: the PR 3 bug put builtin hash() into the
+        # artifact store's key -> filename digest, which broke warm-store
+        # reuse across processes (hash() is salted per invocation).
+        source = '''
+def key_filename(key):
+    return f"{hash(key) & 0xffffffff:08x}.npz"
+'''
+        findings = lint(source)
+        assert [f.rule for f in findings] == ["REP-D101"]
+        assert "process-salted" in findings[0].message
+
+    def test_canonical_digest_is_clean(self):
+        source = '''
+import hashlib
+
+def key_filename(key):
+    return hashlib.sha256(repr(key).encode()).hexdigest() + ".npz"
+'''
+        assert rule_ids(source) == []
+
+    def test_hash_outside_golden_scope_is_clean(self):
+        assert rule_ids("x = hash((1, 2))\n", path=PLAIN_PATH) == []
+        assert rule_ids("x = hash((1, 2))\n", path="tests/fixture.py") == []
+
+    def test_id_in_golden_scope_is_flagged(self):
+        assert rule_ids("key = (id(model), 3)\n") == ["REP-D102"]
+
+    def test_method_named_hash_is_clean(self):
+        # Only the builtin is flagged, not attribute calls.
+        assert rule_ids("d = obj.hash()\n") == []
+
+
+# ---------------------------------------------------------------------------
+# REP-D103 — wall clock
+# ---------------------------------------------------------------------------
+
+class TestWallClock:
+    def test_time_time_is_flagged(self):
+        assert rule_ids("import time\nstamp = time.time()\n") == ["REP-D103"]
+
+    def test_perf_counter_is_clean(self):
+        source = "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n"
+        assert rule_ids(source) == []
+
+    def test_datetime_now_is_flagged(self):
+        source = "import datetime\nwhen = datetime.datetime.now()\n"
+        assert rule_ids(source) == ["REP-D103"]
+
+
+# ---------------------------------------------------------------------------
+# REP-D104 / REP-D105 — unseeded RNG and ad-hoc entropy
+# ---------------------------------------------------------------------------
+
+class TestRngRules:
+    def test_pr4_seed_aliasing_regression_is_flagged(self):
+        # Regression fixture: the shape of the PR 4 bug.  shard_rng(None, i)
+        # must not derive per-shard streams from ad-hoc entropy (or, as
+        # originally shipped, silently alias seed 0); the fixed contract is
+        # one fresh_seed_root() draw per map, passed as an int seed.  Both
+        # ad-hoc variants below must be flagged.
+        source = '''
+import numpy as np
+
+def shard_rng(seed, shard_index):
+    if seed is None:
+        return np.random.default_rng()
+    root = int(np.random.SeedSequence().entropy)
+    return np.random.default_rng([root, shard_index])
+'''
+        ids = rule_ids(source)
+        assert ids == ["REP-D104", "REP-D105"]
+
+    def test_fresh_seed_root_is_blessed(self):
+        # The fixed PR 4 shape: entropy drawn only inside fresh_seed_root.
+        source = '''
+import numpy as np
+
+def fresh_seed_root():
+    return int(np.random.SeedSequence().entropy)
+
+def shard_rng(seed, shard_index):
+    root = fresh_seed_root() if seed is None else int(seed)
+    return np.random.default_rng(np.random.SeedSequence([root, int(shard_index)]))
+'''
+        assert rule_ids(source) == []
+
+    def test_legacy_numpy_global_state_is_flagged(self):
+        assert rule_ids("import numpy as np\nx = np.random.rand(3)\n") == ["REP-D104"]
+        assert rule_ids("import numpy as np\nnp.random.seed(0)\n") == ["REP-D104"]
+
+    def test_stdlib_random_is_flagged(self):
+        assert rule_ids("import random\nx = random.random()\n") == ["REP-D104"]
+
+    def test_seeded_generators_are_clean(self):
+        source = '''
+import numpy as np
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(4)
+'''
+        assert rule_ids(source) == []
+
+    def test_os_urandom_is_flagged_and_allow_comment_waives(self):
+        flagged = "import os\nsecret = os.urandom(16)\n"
+        assert rule_ids(flagged) == ["REP-D105"]
+        waived = (
+            "import os\n"
+            "secret = os.urandom(16)  # repro-analysis: allow=REP-D105 reason\n"
+        )
+        assert rule_ids(waived) == []
+
+    def test_standalone_allow_comment_waives_next_line(self):
+        waived = (
+            "import os\n"
+            "# repro-analysis: allow=REP-D105 handshake secret\n"
+            "secret = os.urandom(16)\n"
+        )
+        assert rule_ids(waived) == []
+
+
+# ---------------------------------------------------------------------------
+# REP-D106 — set iteration into ordered output
+# ---------------------------------------------------------------------------
+
+class TestSetIteration:
+    def test_list_of_set_is_flagged(self):
+        assert rule_ids("names = list({\"a\", \"b\"})\n") == ["REP-D106"]
+
+    def test_for_over_set_call_is_flagged(self):
+        source = '''
+def emit(items):
+    out = []
+    for key in set(items):
+        out.append(key)
+    return out
+'''
+        assert rule_ids(source) == ["REP-D106"]
+
+    def test_join_of_set_is_flagged(self):
+        assert rule_ids("label = ','.join({\"b\", \"a\"})\n") == ["REP-D106"]
+
+    def test_sorted_set_is_clean(self):
+        source = '''
+def emit(items):
+    return sorted(set(items))
+'''
+        assert rule_ids(source) == []
+
+    def test_order_free_consumers_are_clean(self):
+        source = '''
+def summarise(items, probe):
+    count = len(set(items))
+    hit = probe in {1, 2, 3}
+    lo = min(set(items))
+    return count, hit, lo
+'''
+        assert rule_ids(source) == []
+
+
+# ---------------------------------------------------------------------------
+# REP-F201 / REP-F202 — fork/pickle safety
+# ---------------------------------------------------------------------------
+
+class TestWorkerClosure:
+    def test_lambda_capturing_lock_is_flagged(self):
+        source = '''
+import threading
+
+def run(backend, items):
+    lock = threading.Lock()
+    return backend.map(lambda item: (lock, item), items)
+'''
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["REP-F201"]
+        assert "'lock'" in findings[0].message
+
+    def test_nested_def_capturing_open_file_is_flagged(self):
+        source = '''
+def run(backend, items, path):
+    handle = open(path)
+
+    def task(item):
+        return handle.read(item)
+
+    return backend.map(task, items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-F201"]
+
+    def test_with_bound_socket_capture_is_flagged(self):
+        source = '''
+import socket
+
+def run(host, items):
+    with socket.create_connection(("x", 1)) as conn:
+        return host.run(lambda item: conn.send(item), items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-F201"]
+
+    def test_closure_over_plain_data_is_clean(self):
+        # The fork transport deliberately supports closures over plain
+        # (even unpicklable-by-value) *data*; only resource state is flagged.
+        source = '''
+def run(backend, items, scene):
+    scale = 2.0
+    return backend.map(lambda item: scene.eval(item) * scale, items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+    def test_module_level_callable_is_clean(self):
+        source = '''
+def task(item):
+    return item * 2
+
+def run(backend, items):
+    return backend.map(task, items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+    def test_non_backend_receivers_are_ignored(self):
+        source = '''
+import threading
+
+def run(pool, items):
+    lock = threading.Lock()
+    return pool.map(lambda item: (lock, item), items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+
+class TestThreadInForkingModule:
+    def test_thread_plus_fork_is_flagged(self):
+        source = '''
+import os
+import threading
+
+def spawn():
+    if os.fork() == 0:
+        raise SystemExit(0)
+
+def watch(fn):
+    return threading.Thread(target=fn, daemon=True)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-F202"]
+
+    def test_thread_without_fork_is_clean(self):
+        source = '''
+import threading
+
+def watch(fn):
+    return threading.Thread(target=fn, daemon=True)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# REP-L301 — lock discipline
+# ---------------------------------------------------------------------------
+
+class TestLockDiscipline:
+    def test_unlocked_mutation_is_flagged(self):
+        source = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+'''
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["REP-L301"]
+        assert "self.count" in findings[0].message
+
+    def test_locked_mutation_is_clean(self):
+        source = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+    def test_locked_lru_guard_is_recognised(self):
+        # The ArtifactStore / RenderCache idiom: the lock lives on an owned
+        # LockedLRU, and `with self._lru.lock:` is the guard.
+        source = '''
+from repro.utils.lru import LockedLRU
+
+class Store:
+    def __init__(self):
+        self._lru = LockedLRU()
+        self.hits = 0
+
+    def get(self, key):
+        with self._lru.lock:
+            self.hits += 1
+            return self._lru.get(key)
+
+    def reset(self):
+        self.hits = 0
+'''
+        findings = lint(source, path=PLAIN_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("REP-L301", 15)]
+
+    def test_nested_attribute_mutation_is_flagged(self):
+        source = '''
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.stats = object()
+
+    def record(self):
+        self.stats.hits += 1
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-L301"]
+
+    def test_container_mutator_outside_lock_is_flagged(self):
+        source = '''
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def stash(self, key, value):
+        self.items.setdefault(key, value)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-L301"]
+
+    def test_dataclass_field_container_is_tracked(self):
+        source = '''
+import threading
+from dataclasses import dataclass, field
+
+@dataclass
+class Timer:
+    stages: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def add(self, name, seconds):
+        self.stages.update({name: seconds})
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-L301"]
+
+    def test_lockless_class_is_ignored(self):
+        source = '''
+class Plain:
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+    def test_constructor_assignments_are_exempt(self):
+        source = '''
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ready = False
+        self.ready = True
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# REP-E401 — environment hygiene
+# ---------------------------------------------------------------------------
+
+class TestRawEnviron:
+    def test_environ_get_is_flagged(self):
+        source = 'import os\nbackend = os.environ.get("REPRO_BACKEND", "thread")\n'
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["REP-E401"]
+        assert "'REPRO_BACKEND'" in findings[0].message
+
+    def test_environ_subscript_read_is_flagged(self):
+        source = 'import os\nvalue = os.environ["REPRO_FULL"]\n'
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-E401"]
+
+    def test_membership_test_is_flagged(self):
+        source = 'import os\nconfigured = "REPRO_BACKEND" in os.environ\n'
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["REP-E401"]
+        assert "is_set()" in findings[0].message
+
+    def test_getenv_is_flagged(self):
+        source = 'import os\nhome = os.getenv("HOME")\n'
+        assert rule_ids(source, path=PLAIN_PATH) == ["REP-E401"]
+
+    def test_writes_and_copies_are_clean(self):
+        source = '''
+import os
+
+def launch_env():
+    env = dict(os.environ)
+    os.environ["REPRO_BACKEND"] = "serial"
+    del os.environ["REPRO_BACKEND"]
+    return env, os.environ.copy()
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+    def test_registry_module_itself_is_exempt(self):
+        source = 'import os\nraw = os.environ.get("REPRO_FULL")\n'
+        assert rule_ids(source, path="src/repro/config/env.py") == []
+
+    def test_registry_usage_is_clean(self):
+        source = '''
+from repro.config import env
+
+FULL = env.REPRO_FULL.get()
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine-level behaviour shared by all rules
+# ---------------------------------------------------------------------------
+
+class TestEngineBehaviour:
+    def test_syntax_error_files_are_skipped(self):
+        assert load_module("src/x.py", source="def broken(:\n") is None
+
+    def test_findings_are_sorted_and_located(self):
+        source = (
+            "import os\n"
+            "b = os.environ.get(\"B\")\n"
+            "a = os.environ.get(\"A\")\n"
+        )
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.line for f in findings] == [2, 3]
+        assert all(f.path == PLAIN_PATH for f in findings)
+        assert all(f.col > 0 for f in findings)
+
+    def test_real_tree_is_clean(self):
+        # The repository's own src tree must stay finding-free: the CI lint
+        # gate relies on it, and any new violation should fail here first
+        # with a precise location.
+        from repro.analysis import analyze_paths
+
+        result = analyze_paths(["src"], all_rules())
+        assert result.files_checked > 40
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings
+        )
+
+    @pytest.mark.parametrize("package", ["core", "exec", "render", "baking"])
+    def test_golden_scope_detection(self, package):
+        module = load_module(f"src/repro/{package}/m.py", source="x = 1\n")
+        assert module.in_golden_scope
+
+    @pytest.mark.parametrize(
+        "path", ["src/repro/scenes/m.py", "tests/test_x.py", "benchmarks/c.py"]
+    )
+    def test_non_golden_scope_detection(self, path):
+        assert not load_module(path, source="x = 1\n").in_golden_scope

@@ -12,6 +12,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.config import env as repro_env
 from repro.core.pipeline import NeRFlexPipeline, PipelineConfig
 from repro.core.config_space import ConfigurationSpace
 from repro.device.models import DeviceProfile
@@ -168,7 +169,7 @@ class TestBackendMap:
     def test_default_thread_backend_is_inline(self):
         # The default resolution must preserve legacy single-worker
         # behaviour: thread backend with one worker.
-        backend = resolve_backend(None) if "REPRO_BACKEND" not in os.environ else None
+        backend = resolve_backend(None) if not repro_env.REPRO_BACKEND.is_set() else None
         if backend is not None:
             assert backend.name == "thread" and backend.workers == 1
 
@@ -295,7 +296,7 @@ class TestRenderParity:
         assert RenderEngine(backend="process").backend.name == "process"
         # Legacy workers knob still selects a thread fan-out by default.
         engine = RenderEngine(workers=3)
-        if "REPRO_BACKEND" not in os.environ:
+        if not repro_env.REPRO_BACKEND.is_set():
             assert engine.backend.name == "thread"
             assert engine.backend.workers == 3
 

@@ -19,10 +19,9 @@ is benchmark-scale work, not unit-tier work.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro.config import env as repro_env
 from repro.core.config_space import ConfigurationSpace
 from repro.core.pipeline import NeRFlexPipeline, PipelineConfig
 from repro.core.selector import NeRFlexDPSelector
@@ -32,7 +31,7 @@ from repro.exec import ArtifactStore
 from repro.scenes.dataset import generate_dataset
 from repro.scenes.scene import compose_scene
 
-FULL_SWEEP = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+FULL_SWEEP = repro_env.REPRO_FULL.get()
 
 pytestmark = pytest.mark.skipif(
     not FULL_SWEEP, reason="mixed-complexity profiling sweep; set REPRO_FULL=1"
