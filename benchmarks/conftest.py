@@ -116,6 +116,11 @@ def pytest_collection_modifyitems(config, items):
 #: Per-test call-phase records of this session's benchmarks, in run order.
 _BENCH_RECORDS: list = []
 
+#: Structured measurements benchmarks attach via the ``bench_metrics``
+#: fixture (e.g. the kernel micro-benchmarks' rays/sec per backend); merged
+#: into the session's ``BENCH_<suite>.json`` under ``"metrics"``.
+_BENCH_METRICS: dict = {}
+
 #: The session harness, stashed by the fixture so the session-finish hook
 #: can read the artifact-store statistics after the run.
 _SESSION_HARNESS: dict = {}
@@ -186,6 +191,7 @@ def pytest_sessionfinish(session, exitstatus):
             sum(record["seconds"] for record in _BENCH_RECORDS), 3
         ),
         "artifact_store": store_info,
+        "metrics": dict(_BENCH_METRICS),
         "tests": list(_BENCH_RECORDS),
     }
     out_dir = repro_env.REPRO_BENCH_DIR.get() or os.getcwd()
@@ -473,6 +479,18 @@ def harness():
             f"served from {store.disk.root}: {recomputes} "
             f"(disk stats: {store.disk.stats.as_dict()})"
         )
+
+
+@pytest.fixture(scope="session")
+def bench_metrics() -> dict:
+    """Session-scoped dict of structured benchmark measurements.
+
+    Whatever benchmarks put here lands verbatim under ``"metrics"`` in the
+    session's ``BENCH_<suite>.json`` — the channel the kernel
+    micro-benchmarks use to publish per-backend throughput alongside the
+    per-test wall clocks.
+    """
+    return _BENCH_METRICS
 
 
 @pytest.fixture(scope="session")

@@ -36,6 +36,11 @@ GOLDEN_PACKAGES = (
     ("repro", "core"),
     ("repro", "exec"),
     ("repro", "render"),
+    # The compiled kernel layer is already covered by ("repro", "render"),
+    # but it is listed explicitly: kernels are the tightest golden modules
+    # in the tree (their outputs are pinned bit-for-bit across backends)
+    # and must stay in scope even if the render package is ever split.
+    ("repro", "render", "kernels"),
     ("repro", "baking"),
 )
 

@@ -164,6 +164,17 @@ REPRO_TRANSPORT = register(EnvVar(
     default_text='"fork"',
 ))
 
+REPRO_KERNEL = register(EnvVar(
+    name="REPRO_KERNEL",
+    default="auto",
+    parser=parse_str,
+    description="Render kernel backend (auto / numpy / loops / numba) when "
+    "the caller does not pick one; auto prefers the compiled path and "
+    "falls back to numpy when numba is absent.",
+    consumers=("repro.render.kernels.registry",),
+    default_text='"auto"',
+))
+
 REPRO_ARTIFACT_DIR = register(EnvVar(
     name="REPRO_ARTIFACT_DIR",
     default=None,

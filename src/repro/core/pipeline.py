@@ -99,6 +99,12 @@ class PipelineConfig:
             loopback TCP workers, the multi-machine-shaped wire protocol);
             ``None`` consults ``REPRO_TRANSPORT``.  Ignored by in-process
             backends; every transport produces bit-identical output.
+        kernel: hot-loop kernel backend of the render engine (``"numpy"`` /
+            ``"loops"`` / ``"numba"`` / ``"auto"``); ``None`` consults
+            ``REPRO_KERNEL`` (default ``auto`` — compiled when numba is
+            installed, numpy otherwise).  Marching and sphere tracing are
+            bit-identical across kernels; the volume path is pinned to a
+            few ULP (see DESIGN.md "Kernels").
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -117,6 +123,7 @@ class PipelineConfig:
     render_workers: "int | None" = None
     backend: "str | None" = None
     transport: "str | None" = None
+    kernel: "str | None" = None
 
 
 @dataclass
@@ -423,6 +430,7 @@ class NeRFlexPipeline:
             workers=self.config.render_workers,
             cache=default_cache(),
             backend=self.backend,
+            kernel=self.config.kernel,
         )
 
     # -- staged preparation ---------------------------------------------------

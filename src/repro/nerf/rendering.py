@@ -24,8 +24,13 @@ def composite_samples(
     deltas: np.ndarray,
     background=(1.0, 1.0, 1.0),
     sample_distances: "np.ndarray | None" = None,
+    kernel: "str | None" = None,
 ) -> dict:
     """Alpha-composite per-sample densities and colours along rays.
+
+    The compositing body lives in the kernel layer
+    (:mod:`repro.render.kernels`); this wrapper normalises inputs and keeps
+    the historical dict interface :func:`composite_gradients` consumes.
 
     Args:
         densities: ``(R, S)`` non-negative densities.
@@ -36,30 +41,34 @@ def composite_samples(
             the ray origin; when given, the reported ``depth`` is the
             weighted expectation of these distances (otherwise depth is
             measured from the first sample).
+        kernel: kernel backend name; ``None`` pins the numpy reference so
+            direct callers (the trainer above all) stay bit-stable across
+            environments.  The render engine passes its configured kernel —
+            ``composite_forward`` sits in the bounded-ULP parity tier, so
+            compiled backends may differ from the reference by a few ULP.
 
     Returns:
         dict with ``rgb`` (R, 3), ``weights`` (R, S), ``transmittance``
         (R, S+1) and ``depth`` (R,) — the expected termination depth.
     """
-    densities = np.maximum(np.asarray(densities, dtype=np.float64), 0.0)
+    from repro.render.kernels import get_kernels
+
+    densities = np.asarray(densities, dtype=np.float64)
     colors = np.asarray(colors, dtype=np.float64)
     deltas = np.asarray(deltas, dtype=np.float64)
     background = np.asarray(background, dtype=np.float64)
-
-    alphas = 1.0 - np.exp(-densities * deltas)
-    ones = np.ones((alphas.shape[0], 1))
-    transmittance = np.concatenate(
-        [ones, np.cumprod(1.0 - alphas + 1e-12, axis=1)], axis=1
-    )
-    weights = transmittance[:, :-1] * alphas
-    rgb = (weights[..., None] * colors).sum(axis=1)
-    rgb = rgb + transmittance[:, -1:] * background
-    cumulative = weights.sum(axis=1)
     if sample_distances is None:
         sample_distances = np.cumsum(deltas, axis=1)
-    depth = (weights * np.asarray(sample_distances, dtype=np.float64)).sum(
-        axis=1
-    ) / np.maximum(cumulative, 1e-8)
+    sample_distances = np.asarray(sample_distances, dtype=np.float64)
+
+    kernels = get_kernels("numpy" if kernel is None else kernel)
+    rgb, weights, transmittance, depth, cumulative = kernels.composite_forward(
+        np.ascontiguousarray(densities),
+        np.ascontiguousarray(colors),
+        np.ascontiguousarray(deltas),
+        np.ascontiguousarray(background),
+        np.ascontiguousarray(sample_distances),
+    )
     return {
         "rgb": rgb,
         "weights": weights,
@@ -155,10 +164,13 @@ def _sdf_to_density(sdf: np.ndarray, surface_width: float) -> np.ndarray:
 
     Density is high inside the surface and falls off smoothly across a band
     of width ``surface_width`` outside it, which keeps the volume renderer
-    well behaved at finite sample counts.
+    well behaved at finite sample counts.  The math lives in the kernel
+    layer (numpy reference); this wrapper exists for its historical name
+    and for callers with non-2D inputs.
     """
-    scaled = np.clip(-sdf / max(surface_width, 1e-9), -30.0, 30.0)
-    return 30.0 / max(surface_width, 1e-9) * _sigmoid_array(scaled) * 0.5
+    from repro.render.kernels import numpy_ref
+
+    return numpy_ref.sdf_to_density(np.asarray(sdf, dtype=np.float64), surface_width)
 
 
 def _sigmoid_array(values: np.ndarray) -> np.ndarray:

@@ -3,8 +3,10 @@
 :class:`RenderEngine` subsumes the three historical ray-marching paths —
 the ground-truth sphere tracer, the NeRF volume renderer and the baked
 occupancy-grid marcher — behind one batched, cached API.  See
-:mod:`repro.render.engine` for the engine and :mod:`repro.render.cache` for
-the ``(scene, camera, quality)`` render cache.
+:mod:`repro.render.engine` for the engine, :mod:`repro.render.cache` for
+the ``(scene, camera, quality)`` render cache and
+:mod:`repro.render.kernels` for the compiled hot-loop kernel layer the
+engine dispatches to.
 """
 
 from repro.render.cache import CacheStats, RenderCache, camera_cache_key
@@ -15,14 +17,26 @@ from repro.render.engine import (
     default_cache,
     default_engine,
 )
+from repro.render.kernels import (
+    KernelSet,
+    get_kernels,
+    known_kernel_names,
+    resolve_kernel_name,
+    warm_up,
+)
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CHUNK_RAYS",
+    "KernelSet",
     "RenderCache",
     "RenderEngine",
     "baked_fingerprint",
     "camera_cache_key",
     "default_cache",
     "default_engine",
+    "get_kernels",
+    "known_kernel_names",
+    "resolve_kernel_name",
+    "warm_up",
 ]

@@ -34,10 +34,10 @@ import contextlib
 
 import numpy as np
 
-from repro.baking.meshing import _TANGENT_AXES
 from repro.exec.backends import Backend, resolve_backend
 from repro.nerf.sampling import stratified_samples
 from repro.render.cache import RenderCache
+from repro.render.kernels import get_kernels, resolve_kernel_name
 from repro.scenes.cameras import Camera, camera_rays
 from repro.scenes.raytrace import (
     RenderResult,
@@ -188,34 +188,49 @@ def _sphere_trace_chunk(
     limits: np.ndarray,
     max_steps: int,
     hit_epsilon: float,
+    kernel_name: str = "numpy",
 ) -> tuple:
-    """The active-set sphere-tracing loop over one chunk of rays."""
+    """The active-set sphere-tracing loop over one chunk of rays.
+
+    The per-step bookkeeping (point gathering, hit recording, advancing,
+    compaction) dispatches to the kernel layer; the SDF itself stays an
+    arbitrary Python callable evaluated between kernel calls.  Both steps
+    sit in the exact parity tier, so every kernel backend traces
+    bit-identically.
+    """
+    kernels = get_kernels(kernel_name)
     num_rays = origins.shape[0]
     t_values = np.zeros(num_rays)
     hit = np.zeros(num_rays, dtype=bool)
-    alive = np.arange(num_rays)
+    alive = np.arange(num_rays, dtype=np.int64)
+    origins = np.ascontiguousarray(origins)
+    directions = np.ascontiguousarray(directions)
+    # ``limits`` may arrive as a stride-0 broadcast view; compiled kernels
+    # want a real buffer.
+    limits = np.ascontiguousarray(limits, dtype=np.float64)
     for _ in range(max_steps):
         if alive.size == 0:
             break
-        points = origins[alive] + t_values[alive, None] * directions[alive]
-        distances = sdf_fn(points)
-        newly_hit = distances < hit_epsilon
-        hit[alive[newly_hit]] = True
-        advancing = ~newly_hit
-        advancing_ids = alive[advancing]
-        t_values[advancing_ids] += np.maximum(distances[advancing], hit_epsilon)
-        escaped = t_values[advancing_ids] > limits[advancing_ids]
-        alive = advancing_ids[~escaped]
+        points = kernels.gather_ray_points(origins, directions, t_values, alive)
+        distances = np.ascontiguousarray(sdf_fn(points), dtype=np.float64)
+        alive = kernels.sphere_advance(
+            t_values, hit, alive, distances, limits, hit_epsilon
+        )
     return t_values, hit
 
 
 def _face_keys(model) -> tuple:
-    """Sorted integer keys for (voxel, axis, sign) face lookup."""
+    """Sorted integer keys for (voxel, axis, sign) face lookup.
+
+    Arrays come back as int64 — the dtype the compiled marching kernels
+    are specialised on (platform-default ints would recompile per dtype).
+    """
     g = model.grid.resolution
-    idx = model.faces.voxel_indices
+    idx = model.faces.voxel_indices.astype(np.int64, copy=False)
     voxel_key = (idx[:, 0] * g + idx[:, 1]) * g + idx[:, 2]
     face_key = voxel_key * 6 + model.faces.axes * 2 + (model.faces.signs > 0)
-    order = np.argsort(face_key, kind="stable")
+    face_key = face_key.astype(np.int64, copy=False)
+    order = np.argsort(face_key, kind="stable").astype(np.int64, copy=False)
     return face_key[order], order, voxel_key[order]
 
 
@@ -247,6 +262,15 @@ class RenderEngine:
             *instance* is supplied (it already owns its transport) and by
             the in-process backends; every transport renders bit-identical
             images.
+        kernel: hot-loop kernel backend for the marching/compositing
+            bodies — a name from
+            :func:`repro.render.kernels.known_kernel_names` (``"numpy"`` /
+            ``"loops"`` / ``"numba"`` / ``"auto"``), or ``None`` to consult
+            the ``REPRO_KERNEL`` environment variable (default ``auto``:
+            compiled when numba is available, numpy otherwise).  The
+            marching and sphere-tracing kernels are pinned bit-identical
+            across backends; the volume sdf→density→composite kernels are
+            pinned to a few ULP (see DESIGN.md "Kernels").
     """
 
     def __init__(
@@ -256,6 +280,7 @@ class RenderEngine:
         cache: "RenderCache | None" = None,
         backend: "Backend | str | None" = None,
         transport: "str | None" = None,
+        kernel: "str | None" = None,
     ) -> None:
         if chunk_rays < 1:
             raise ValueError("chunk_rays must be positive")
@@ -265,6 +290,10 @@ class RenderEngine:
         self.workers = 1 if workers is None else int(workers)
         self.cache = cache
         self.backend = resolve_backend(backend, workers=workers, transport=transport)
+        # Resolved to a backend *name* (string), never a KernelSet: chunk
+        # closures re-resolve it via get_kernels() at execution time, so
+        # compiled functions never cross a worker transport.
+        self.kernel = resolve_kernel_name(kernel)
         self._stage_timer = None
         self._stage_name = None
 
@@ -369,9 +398,11 @@ class RenderEngine:
             np.asarray(max_distance, dtype=np.float64), (num_rays,)
         )
         starts = list(range(0, num_rays, self.chunk_rays))
+        kernel_name = self.kernel
         if len(starts) <= 1:
             return _sphere_trace_chunk(
-                sdf_fn, origins, directions, limits, max_steps, hit_epsilon
+                sdf_fn, origins, directions, limits, max_steps, hit_epsilon,
+                kernel_name=kernel_name,
             )
 
         # Each ray's march is independent, so splitting the batch into
@@ -387,6 +418,7 @@ class RenderEngine:
                 limits[start:stop],
                 max_steps,
                 hit_epsilon,
+                kernel_name=kernel_name,
             )
 
         parts = self._map_chunks(process, starts, num_items=num_rays)
@@ -620,12 +652,14 @@ class RenderEngine:
             depth = np.full(num_rays, np.inf)
             alpha = np.zeros(num_rays)
 
-            from repro.nerf.rendering import _sdf_to_density, composite_samples
+            kernel_name = self.kernel
 
             def process(start):
                 # Pure chunk function: reads the stacked ray buffers, returns
                 # this chunk's rows — no writes to shared state, so the chunk
                 # can run in a forked worker and ship its rows back pickled.
+                # The kernel set is re-resolved by name inside the worker.
+                kernels = get_kernels(kernel_name)
                 stop = min(start + self.chunk_rays, num_rays)
                 count = stop - start
                 t_values = stratified_samples(
@@ -634,23 +668,24 @@ class RenderEngine:
                 points = origins[start:stop, None, :] + t_values[..., None] * directions[
                     start:stop, None, :
                 ]
-                sdf = field.sdf(points.reshape(-1, 3)).reshape(count, num_samples)
-                densities = _sdf_to_density(sdf, surface_width)
+                sdf = np.ascontiguousarray(
+                    field.sdf(points.reshape(-1, 3)).reshape(count, num_samples),
+                    dtype=np.float64,
+                )
+                densities = kernels.sdf_to_density(sdf, surface_width)
                 deltas = np.diff(
                     t_values,
                     axis=1,
                     append=t_values[:, -1:]
                     + (far[start:stop] - near[start:stop])[:, None] / num_samples,
                 )
-                composite = composite_samples(
+                _, _, _, ray_depth, ray_alpha = kernels.composite_forward(
                     densities,
                     np.zeros((count, num_samples, 3)),
-                    deltas,
-                    background=(0, 0, 0),
-                    sample_distances=t_values,
+                    np.ascontiguousarray(deltas),
+                    np.zeros(3),
+                    np.ascontiguousarray(t_values),
                 )
-                ray_alpha = composite["alpha"]
-                ray_depth = composite["depth"]
                 hit_rows = np.flatnonzero(ray_alpha > 0.05)
                 if hit_rows.size:
                     surface_points = origins[start:stop][hit_rows] + ray_depth[
@@ -712,111 +747,47 @@ class RenderEngine:
 
         grid = model.grid
         lo, hi = grid.bounds_min, grid.bounds_max
-        voxel = grid.voxel_size
+        voxel = float(grid.voxel_size)
         step = voxel * step_scale
 
         face_keys_sorted, face_order, voxel_keys_sorted = _face_keys(model)
-        g = grid.resolution
+        g = int(grid.resolution)
+        grid_lo = np.ascontiguousarray(np.asarray(lo, dtype=np.float64))
+        occupancy = np.ascontiguousarray(grid.occupancy)
 
         t_near, t_far = _ray_aabb(origins, directions, lo, hi)
         t_near = np.maximum(t_near, 0.0)
         candidates = np.flatnonzero(t_far > t_near)
 
-        slab_steps = 32  # samples examined per marching round
+        slab_steps = 32  # samples examined per vectorised marching round
+        kernel_name = self.kernel
 
         def process(start):
             # Pure chunk function (see volume path): returns the chunk's hit
             # rows instead of writing shared buffers, so it can execute on
-            # any backend.
+            # any backend.  The march itself — slab march, voxel entry, face
+            # lookup — is a kernel (exact parity tier: every backend returns
+            # bit-identical hits); texture sampling stays here with the
+            # model object.
+            kernels = get_kernels(kernel_name)
             ray_ids = candidates[start : start + self.chunk_rays]
-            ray_origins = origins[ray_ids]
-            ray_dirs = directions[ray_ids]
-            ray_near = t_near[ray_ids]
-            ray_far = t_far[ray_ids]
-
-            span = float(np.max(ray_far - ray_near))
-            num_steps = max(int(np.ceil(span / step)) + 1, 1)
-
-            # Slab-wise march with early-termination compaction: rays stop
-            # participating as soon as their first occupied voxel is found.
-            # The sample ladder is identical to evaluating all ``num_steps``
-            # samples at once, so the result is bit-identical to the legacy
-            # full-span evaluation — it just skips the samples behind a hit.
-            hit_rows_parts = []
-            hit_voxels_parts = []
-            active = np.arange(len(ray_ids))
-            for slab_start in range(0, num_steps, slab_steps):
-                if active.size == 0:
-                    break
-                ks = np.arange(slab_start, min(slab_start + slab_steps, num_steps))
-                t_samples = ray_near[active, None] + (ks[None, :] + 0.5) * step
-                valid = t_samples <= ray_far[active, None]
-                points = (
-                    ray_origins[active, None, :]
-                    + t_samples[..., None] * ray_dirs[active, None, :]
-                )
-                indices = np.floor((points - lo) / voxel).astype(int)
-                inside = np.all((indices >= 0) & (indices < g), axis=-1)
-                clipped = np.clip(indices, 0, g - 1)
-                occupied = grid.occupancy[clipped[..., 0], clipped[..., 1], clipped[..., 2]]
-                occupied = occupied & inside & valid
-
-                any_hit = occupied.any(axis=1)
-                if any_hit.any():
-                    local_rows = np.flatnonzero(any_hit)
-                    first = occupied[local_rows].argmax(axis=1)
-                    hit_rows_parts.append(active[local_rows])
-                    hit_voxels_parts.append(clipped[local_rows, first])
-                # Rays whose remaining samples are all beyond t_far are done.
-                finished = any_hit | ~valid[:, -1]
-                active = active[~finished]
-
-            if not hit_rows_parts:
+            hit_rows, face_indices, u, v, t_entry = kernels.march_occupancy(
+                origins[ray_ids],
+                directions[ray_ids],
+                t_near[ray_ids],
+                t_far[ray_ids],
+                grid_lo,
+                voxel,
+                step,
+                g,
+                occupancy,
+                face_keys_sorted,
+                face_order,
+                voxel_keys_sorted,
+                slab_steps,
+            )
+            if hit_rows.size == 0:
                 return None
-            hit_rows = np.concatenate(hit_rows_parts)
-            hit_voxels = np.concatenate(hit_voxels_parts, axis=0)
-            order = np.argsort(hit_rows, kind="stable")
-            hit_rows = hit_rows[order]
-            hit_voxels = hit_voxels[order]
-
-            # Exact entry point into the hit voxel (slab test on its AABB).
-            voxel_lo = lo + hit_voxels * voxel
-            voxel_hi = voxel_lo + voxel
-            sub_origins = ray_origins[hit_rows]
-            sub_dirs = ray_dirs[hit_rows]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                inv = 1.0 / sub_dirs
-            t_lo_axis = (voxel_lo - sub_origins) * inv
-            t_hi_axis = (voxel_hi - sub_origins) * inv
-            t_axis_entry = np.minimum(t_lo_axis, t_hi_axis)
-            # Guard against rays parallel to an axis (inv = inf -> t = -inf/nan).
-            t_axis_entry = np.where(np.isfinite(t_axis_entry), t_axis_entry, -np.inf)
-            entry_axis = t_axis_entry.argmax(axis=1)
-            t_entry = np.maximum(t_axis_entry[np.arange(len(hit_rows)), entry_axis], 0.0)
-            entry_points = sub_origins + t_entry[:, None] * sub_dirs
-            entry_sign = np.where(sub_dirs[np.arange(len(hit_rows)), entry_axis] > 0, -1, 1)
-
-            # Face lookup: exact (voxel, axis, sign) key, falling back to any
-            # face of the voxel when marching entered through an interior face.
-            voxel_key = (hit_voxels[:, 0] * g + hit_voxels[:, 1]) * g + hit_voxels[:, 2]
-            face_key = voxel_key * 6 + entry_axis * 2 + (entry_sign > 0)
-            pos = np.searchsorted(face_keys_sorted, face_key)
-            pos = np.clip(pos, 0, len(face_keys_sorted) - 1)
-            found = face_keys_sorted[pos] == face_key
-            face_indices = face_order[pos]
-            if not found.all():
-                fallback_pos = np.searchsorted(voxel_keys_sorted, voxel_key[~found])
-                fallback_pos = np.clip(fallback_pos, 0, len(voxel_keys_sorted) - 1)
-                face_indices[~found] = face_order[fallback_pos]
-
-            # In-face texture coordinates from the entry point.
-            local = (entry_points - voxel_lo) / voxel
-            tangent_u = np.array([_TANGENT_AXES[a][0] for a in entry_axis])
-            tangent_v = np.array([_TANGENT_AXES[a][1] for a in entry_axis])
-            rows = np.arange(len(hit_rows))
-            u = np.clip(local[rows, tangent_u], 0.0, 1.0)
-            v = np.clip(local[rows, tangent_v], 0.0, 1.0)
-
             sampled = model.texture.sample(face_indices, u, v)
             return ray_ids[hit_rows], sampled, t_entry
 

@@ -1,0 +1,48 @@
+"""Compiled kernel layer for the render engine's hot loops.
+
+Public surface of the registry (see
+:mod:`repro.render.kernels.registry` for the selection and fork-safety
+contracts, and DESIGN.md "Kernels" for the prose version):
+
+* :class:`KernelSet` — the five array-in/array-out hot-loop functions of
+  one named backend (``numpy`` reference, ``loops`` uncompiled per-ray,
+  ``numba`` compiled when available);
+* :func:`resolve_kernel_name` / :func:`get_kernels` — name-based
+  selection (``REPRO_KERNEL`` / ``PipelineConfig.kernel``), strings only
+  across process boundaries;
+* :func:`warm_up` — eager JIT compile per process;
+* :data:`PARITY_TIERS` — the declared parity tier per kernel, enforced by
+  ``tests/test_render_kernels.py``.
+"""
+
+from repro.render.kernels.registry import (
+    AUTO_KERNEL_NAME,
+    AUTO_PREFERENCE,
+    KERNEL_ENV_VAR,
+    KERNELS,
+    NUMBA_AVAILABLE,
+    PARITY_BOUNDED_ULP,
+    PARITY_EXACT,
+    PARITY_TIERS,
+    KernelSet,
+    get_kernels,
+    known_kernel_names,
+    resolve_kernel_name,
+    warm_up,
+)
+
+__all__ = [
+    "AUTO_KERNEL_NAME",
+    "AUTO_PREFERENCE",
+    "KERNEL_ENV_VAR",
+    "KERNELS",
+    "NUMBA_AVAILABLE",
+    "PARITY_BOUNDED_ULP",
+    "PARITY_EXACT",
+    "PARITY_TIERS",
+    "KernelSet",
+    "get_kernels",
+    "known_kernel_names",
+    "resolve_kernel_name",
+    "warm_up",
+]

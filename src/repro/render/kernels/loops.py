@@ -1,0 +1,349 @@
+"""Per-ray loop implementations of the render kernels (numba-compilable).
+
+Each function here is the scalar-loop form of the matching vectorised
+reference in :mod:`repro.render.kernels.numpy_ref`, written in the
+restricted Python subset numba's nopython mode compiles: preallocated
+outputs, explicit index loops, ``math`` scalar functions, no fancy
+indexing, no closures, no Python objects.  The functions run *uncompiled*
+too — deliberately: the tiered parity suite executes them as plain Python
+on every machine, so the algorithmic equivalence to the reference is
+proven even where numba is not installed, and the numba backend merely
+compiles code that is already pinned.
+
+Determinism notes, load-bearing for the parity tiers:
+
+* no ``fastmath`` anywhere (the numba backend compiles with
+  ``fastmath=False``), so LLVM may not contract ``a + t * d`` into fma or
+  reorder reductions — the "exact" tier kernels stay bit-identical to the
+  reference;
+* float division by zero is guarded explicitly (``copysign(inf, d)``)
+  instead of relying on IEEE division, because plain Python raises
+  ``ZeroDivisionError`` where NumPy returns ``inf`` — the guard makes the
+  uncompiled and compiled behaviour identical;
+* NaN propagation mirrors ``np.minimum`` / ``np.maximum`` semantics
+  wherever the reference could see a NaN (axis-parallel slab tests).
+
+The per-ray march visits exactly the sample ladder
+``t = t_near + (k + 0.5) * step`` for ``t <= t_far`` that the slab-wise
+reference evaluates, so the first occupied voxel — and everything derived
+from it — is identical; the loop merely stops at the hit instead of
+masking the samples behind it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: The kernel entry points every backend must provide, in one canonical
+#: place (the registry builds KernelSets from this tuple and the numba
+#: backend compiles exactly these names).
+KERNEL_FUNCTION_NAMES = (
+    "march_occupancy",
+    "sdf_to_density",
+    "composite_forward",
+    "gather_ray_points",
+    "sphere_advance",
+)
+
+
+def march_occupancy(
+    origins,
+    directions,
+    t_near,
+    t_far,
+    grid_lo,
+    voxel,
+    step,
+    resolution,
+    occupancy,
+    face_keys,
+    face_order,
+    voxel_keys,
+    slab_steps,
+):
+    """Per-ray DDA-style first-hit march (see numpy_ref for the contract).
+
+    ``slab_steps`` is accepted for signature parity and ignored — a scalar
+    loop needs no slab batching to terminate early.
+    """
+    num_rays = origins.shape[0]
+    g = resolution
+    num_faces = face_keys.shape[0]
+
+    hit_rows = np.empty(num_rays, dtype=np.int64)
+    face_indices = np.empty(num_rays, dtype=np.int64)
+    u_out = np.empty(num_rays, dtype=np.float64)
+    v_out = np.empty(num_rays, dtype=np.float64)
+    t_entry_out = np.empty(num_rays, dtype=np.float64)
+    count = 0
+
+    lo0 = grid_lo[0]
+    lo1 = grid_lo[1]
+    lo2 = grid_lo[2]
+
+    for i in range(num_rays):
+        near = t_near[i]
+        far = t_far[i]
+        o0 = origins[i, 0]
+        o1 = origins[i, 1]
+        o2 = origins[i, 2]
+        d0 = directions[i, 0]
+        d1 = directions[i, 1]
+        d2 = directions[i, 2]
+
+        # -- first-hit march along the shared sample ladder ---------------
+        v0 = -1
+        v1 = -1
+        v2 = -1
+        found = False
+        # Upper bound on the ladder index (the break below is the real
+        # termination condition; the bound only keeps the loop finite).
+        k_max = int((far - near) / step) + 2
+        for k in range(k_max):
+            t = near + (k + 0.5) * step
+            if t > far:
+                break
+            p0 = o0 + t * d0
+            p1 = o1 + t * d1
+            p2 = o2 + t * d2
+            i0 = int(math.floor((p0 - lo0) / voxel))
+            if i0 < 0 or i0 >= g:
+                continue
+            i1 = int(math.floor((p1 - lo1) / voxel))
+            if i1 < 0 or i1 >= g:
+                continue
+            i2 = int(math.floor((p2 - lo2) / voxel))
+            if i2 < 0 or i2 >= g:
+                continue
+            if occupancy[i0, i1, i2]:
+                v0 = i0
+                v1 = i1
+                v2 = i2
+                found = True
+                break
+        if not found:
+            continue
+
+        # -- exact entry point into the hit voxel (slab test on its AABB) --
+        vlo0 = lo0 + v0 * voxel
+        vlo1 = lo1 + v1 * voxel
+        vlo2 = lo2 + v2 * voxel
+
+        best_t = -math.inf
+        entry_axis = 0
+        for axis in range(3):
+            if axis == 0:
+                d_axis = d0
+                o_axis = o0
+                vlo_axis = vlo0
+            elif axis == 1:
+                d_axis = d1
+                o_axis = o1
+                vlo_axis = vlo1
+            else:
+                d_axis = d2
+                o_axis = o2
+                vlo_axis = vlo2
+            if d_axis != 0.0:
+                inv = 1.0 / d_axis
+            else:
+                inv = math.copysign(math.inf, d_axis)
+            a = (vlo_axis - o_axis) * inv
+            b = (vlo_axis + voxel - o_axis) * inv
+            # np.minimum semantics: NaN (0 * inf on a face-touching,
+            # axis-parallel ray) propagates, then non-finite entries are
+            # replaced by -inf exactly as the reference does.
+            if a != a or b != b:
+                m = -math.inf
+            else:
+                m = a if a < b else b
+                if not math.isfinite(m):
+                    m = -math.inf
+            if m > best_t:
+                best_t = m
+                entry_axis = axis
+        t_entry = best_t if best_t > 0.0 else 0.0
+
+        if entry_axis == 0:
+            d_axis = d0
+        elif entry_axis == 1:
+            d_axis = d1
+        else:
+            d_axis = d2
+        sign_bit = 0 if d_axis > 0.0 else 1  # entry sign -1 for d > 0
+
+        # -- face lookup: exact (voxel, axis, sign) key, voxel fallback ----
+        voxel_key = (v0 * g + v1) * g + v2
+        face_key = voxel_key * 6 + entry_axis * 2 + sign_bit
+        lo_i = 0
+        hi_i = num_faces
+        while lo_i < hi_i:
+            mid = (lo_i + hi_i) // 2
+            if face_keys[mid] < face_key:
+                lo_i = mid + 1
+            else:
+                hi_i = mid
+        pos = lo_i
+        if pos > num_faces - 1:
+            pos = num_faces - 1
+        if face_keys[pos] == face_key:
+            face_index = face_order[pos]
+        else:
+            lo_i = 0
+            hi_i = num_faces
+            while lo_i < hi_i:
+                mid = (lo_i + hi_i) // 2
+                if voxel_keys[mid] < voxel_key:
+                    lo_i = mid + 1
+                else:
+                    hi_i = mid
+            pos = lo_i
+            if pos > num_faces - 1:
+                pos = num_faces - 1
+            face_index = face_order[pos]
+
+        # -- in-face texture coordinates from the entry point --------------
+        e0 = o0 + t_entry * d0
+        e1 = o1 + t_entry * d1
+        e2 = o2 + t_entry * d2
+        l0 = (e0 - vlo0) / voxel
+        l1 = (e1 - vlo1) / voxel
+        l2 = (e2 - vlo2) / voxel
+        # The tangent table of repro.baking.meshing (_TANGENT_AXES), as
+        # branches: u spans TANGENT_U[axis], v spans TANGENT_V[axis].
+        if entry_axis == 0:
+            u_val = l1
+            v_val = l2
+        elif entry_axis == 1:
+            u_val = l0
+            v_val = l2
+        else:
+            u_val = l0
+            v_val = l1
+        if u_val < 0.0:
+            u_val = 0.0
+        elif u_val > 1.0:
+            u_val = 1.0
+        if v_val < 0.0:
+            v_val = 0.0
+        elif v_val > 1.0:
+            v_val = 1.0
+
+        hit_rows[count] = i
+        face_indices[count] = face_index
+        u_out[count] = u_val
+        v_out[count] = v_val
+        t_entry_out[count] = t_entry
+        count += 1
+
+    return (
+        hit_rows[:count].copy(),
+        face_indices[:count].copy(),
+        u_out[:count].copy(),
+        v_out[:count].copy(),
+        t_entry_out[:count].copy(),
+    )
+
+
+def sdf_to_density(sdf, surface_width):
+    """Elementwise logistic density bump over a ``(R, S)`` SDF slab."""
+    width = surface_width if surface_width > 1e-9 else 1e-9
+    scale = 30.0 / width
+    num_rays = sdf.shape[0]
+    num_samples = sdf.shape[1]
+    out = np.empty((num_rays, num_samples), dtype=np.float64)
+    for r in range(num_rays):
+        for s in range(num_samples):
+            scaled = -sdf[r, s] / width
+            if scaled < -30.0:
+                scaled = -30.0
+            elif scaled > 30.0:
+                scaled = 30.0
+            out[r, s] = scale * (1.0 / (1.0 + math.exp(-scaled))) * 0.5
+    return out
+
+
+def composite_forward(densities, colors, deltas, background, sample_distances):
+    """Sequential per-ray alpha compositing (see numpy_ref for the contract).
+
+    The running transmittance product matches ``np.cumprod`` order exactly;
+    the rgb/weight/depth accumulations are sequential where NumPy sums
+    pairwise, which is why this kernel sits in the bounded-ULP parity tier.
+    """
+    num_rays = densities.shape[0]
+    num_samples = densities.shape[1]
+    rgb = np.empty((num_rays, 3), dtype=np.float64)
+    weights = np.empty((num_rays, num_samples), dtype=np.float64)
+    transmittance = np.empty((num_rays, num_samples + 1), dtype=np.float64)
+    depth = np.empty(num_rays, dtype=np.float64)
+    alpha = np.empty(num_rays, dtype=np.float64)
+
+    for r in range(num_rays):
+        trans = 1.0
+        transmittance[r, 0] = 1.0
+        weight_sum = 0.0
+        depth_sum = 0.0
+        c0 = 0.0
+        c1 = 0.0
+        c2 = 0.0
+        for s in range(num_samples):
+            density = densities[r, s]
+            if density < 0.0:
+                density = 0.0
+            a = 1.0 - math.exp(-density * deltas[r, s])
+            w = trans * a
+            weights[r, s] = w
+            trans = trans * (1.0 - a + 1e-12)
+            transmittance[r, s + 1] = trans
+            c0 += w * colors[r, s, 0]
+            c1 += w * colors[r, s, 1]
+            c2 += w * colors[r, s, 2]
+            weight_sum += w
+            depth_sum += w * sample_distances[r, s]
+        rgb[r, 0] = c0 + trans * background[0]
+        rgb[r, 1] = c1 + trans * background[1]
+        rgb[r, 2] = c2 + trans * background[2]
+        denom = weight_sum if weight_sum > 1e-8 else 1e-8
+        depth[r] = depth_sum / denom
+        alpha[r] = weight_sum
+    return rgb, weights, transmittance, depth, alpha
+
+
+def gather_ray_points(origins, directions, t_values, alive):
+    """Current sample positions ``o + t * d`` of the ``alive`` rays."""
+    count = alive.shape[0]
+    points = np.empty((count, 3), dtype=np.float64)
+    for i in range(count):
+        ray = alive[i]
+        t = t_values[ray]
+        points[i, 0] = origins[ray, 0] + t * directions[ray, 0]
+        points[i, 1] = origins[ray, 1] + t * directions[ray, 1]
+        points[i, 2] = origins[ray, 2] + t * directions[ray, 2]
+    return points
+
+
+def sphere_advance(t_values, hit, alive, distances, limits, hit_epsilon):
+    """One sphere-tracing step; mutates ``t_values``/``hit``, compacts alive.
+
+    A non-hitting ray advances by its SDF distance (which is ``>=
+    hit_epsilon`` whenever this branch is taken, so the reference's
+    ``maximum(distance, hit_epsilon)`` reduces to the distance itself) and
+    survives unless it passed its per-ray limit.
+    """
+    count = alive.shape[0]
+    survivors = np.empty(count, dtype=np.int64)
+    kept = 0
+    for i in range(count):
+        ray = alive[i]
+        distance = distances[i]
+        if distance < hit_epsilon:
+            hit[ray] = True
+        else:
+            t = t_values[ray] + distance
+            t_values[ray] = t
+            if not (t > limits[ray]):
+                survivors[kept] = ray
+                kept += 1
+    return survivors[:kept].copy()

@@ -468,6 +468,87 @@ FULL = env.REPRO_FULL.get()
 
 
 # ---------------------------------------------------------------------------
+# Kernel-layer fixtures — the compiled-kernel package is golden scope
+# ---------------------------------------------------------------------------
+
+#: A path inside the compiled-kernel package, which is pinned explicitly in
+#: GOLDEN_PACKAGES (it renders golden artefacts, and compiled code makes
+#: determinism bugs especially easy to hide behind "the JIT did it").
+KERNELS_PATH = "src/repro/render/kernels/fixture.py"
+
+
+class TestKernelModuleFixtures:
+    def test_kernel_package_is_golden_scope(self):
+        assert load_module(KERNELS_PATH, source="x = 1\n").in_golden_scope
+
+    def test_known_bad_kernel_module_is_flagged(self):
+        # Known-bad: a warm-up helper that stamps wall-clock compile time
+        # (REP-D103) and probes the kernels with unseeded random inputs
+        # (REP-D104).  Both shapes are tempting in JIT warm-up code and
+        # both must fire inside the kernel package.
+        source = '''
+import time
+
+import numpy as np
+
+
+def warm_up(kernels):
+    compiled_at = time.time()
+    probe = np.random.default_rng().random((4, 3))
+    kernels.march(probe)
+    return compiled_at
+'''
+        assert rule_ids(source, path=KERNELS_PATH) == ["REP-D103", "REP-D104"]
+
+    def test_known_bad_compiled_closure_is_flagged(self):
+        # Known-bad: a chunk closure capturing a compile-cache lock.  The
+        # kernel layer's fork contract is that workers re-resolve kernels
+        # *by name*; shipping resource state into backend.map is the exact
+        # bug class REP-F201 exists for.
+        source = '''
+import threading
+
+
+def render_chunks(backend, chunks, kernels):
+    compile_lock = threading.Lock()
+
+    def process(chunk):
+        with compile_lock:
+            return kernels.march(chunk)
+
+    return backend.map(process, chunks)
+'''
+        assert rule_ids(source, path=KERNELS_PATH) == ["REP-F201"]
+
+    def test_known_good_kernel_module_is_clean(self):
+        # Known-good: the shape the real registry uses — deterministic
+        # warm-up probes, perf_counter for timing, kernels resolved by name
+        # inside the worker closure, no resource capture.
+        source = '''
+import time
+
+import numpy as np
+
+
+def warm_up(get_kernels, name):
+    kernels = get_kernels(name)
+    started = time.perf_counter()
+    probe = np.random.default_rng(0).random((4, 3))
+    kernels.march(probe)
+    return time.perf_counter() - started
+
+
+def render_chunks(backend, chunks, get_kernels, kernel_name):
+    def process(chunk):
+        kernels = get_kernels(kernel_name)
+        return kernels.march(chunk)
+
+    return backend.map(process, chunks)
+'''
+        assert rule_ids(source, path=KERNELS_PATH) == []
+
+
+# ---------------------------------------------------------------------------
 # Engine-level behaviour shared by all rules
 # ---------------------------------------------------------------------------
 
@@ -498,7 +579,9 @@ class TestEngineBehaviour:
             f.format() for f in result.findings
         )
 
-    @pytest.mark.parametrize("package", ["core", "exec", "render", "baking"])
+    @pytest.mark.parametrize(
+        "package", ["core", "exec", "render", "render/kernels", "baking"]
+    )
     def test_golden_scope_detection(self, package):
         module = load_module(f"src/repro/{package}/m.py", source="x = 1\n")
         assert module.in_golden_scope
