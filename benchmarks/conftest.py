@@ -158,16 +158,16 @@ def pytest_runtest_logreport(report):
 def pytest_sessionfinish(session, exitstatus):
     if not _BENCH_RECORDS:
         return  # no benchmark ran in this session (e.g. unit-tier only)
-    from repro.exec import resolve_backend
+    from repro.exec import resolve_backend, transport_label
 
     try:
         backend = resolve_backend(None)
         backend_info = {
             "name": backend.name,
             "workers": backend.workers,
-            "transport": getattr(
-                getattr(backend, "transport", None), "name", None
-            ),
+            # "none" for in-process backends, same normalisation as
+            # DeploymentReport.transport_name.
+            "transport": transport_label(backend),
         }
     except ValueError as error:  # unknown REPRO_BACKEND: record, don't crash
         backend_info = {"error": str(error)}

@@ -1,0 +1,186 @@
+"""Corpus-level pipeline benchmark: sequential vs stage-DAG scheduling.
+
+Runs a small corpus of independent scenes through
+:func:`repro.core.pipeline.run_corpus` twice — once sequentially and once
+under the stage-DAG scheduler — asserts the two produce bit-identical
+deployment records, and publishes the wall clocks plus per-stage
+``CostSample`` rows to the session's ``BENCH_<suite>.json`` trajectory.
+Those ``stage_samples`` rows are the measured trajectories the cost model
+(:mod:`repro.exec.costmodel`) fits from on later runs.
+
+The >= 1.3x speedup acceptance bar only holds where stages can genuinely
+overlap, so it is asserted on hosts with at least four CPU cores (the CI
+runner) and recorded — not enforced — elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.pipeline import NeRFlexPipeline, PipelineConfig, run_corpus
+from repro.device.models import DeviceProfile
+from repro.exec import CostSample
+from repro.scenes.dataset import generate_dataset
+from repro.scenes.objects import make_cube, make_sphere
+from repro.scenes.scene import PlacedObject, Scene
+
+CORPUS_DEVICE = DeviceProfile(
+    name="CorpusPhone",
+    memory_budget_mb=120.0,
+    hard_memory_limit_mb=160.0,
+    compute_score=6.0,
+)
+
+#: Scene specs: (object maker, texture frequency, x offset) per object.
+CORPUS_SCENES = {
+    "bench-pair": [(make_sphere, 2.0, -0.55), (make_cube, 8.0, 0.55)],
+    "bench-solo": [(make_sphere, 4.0, 0.0)],
+    "bench-trio": [
+        (make_cube, 6.0, -0.8),
+        (make_sphere, 3.0, 0.0),
+        (make_cube, 9.0, 0.8),
+    ],
+}
+
+#: DAG worker count: enough to overlap the three scenes' stages, bounded
+#: by the host so a small runner is not oversubscribed.
+DAG_WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+
+def corpus_config() -> PipelineConfig:
+    """A small, serial-backend pipeline configuration.
+
+    The inner backends stay serial deliberately: the DAG's worker threads
+    are the only concurrency, so no stage forks while the scheduler holds
+    threads (the fork-while-threaded hazard), and the measured speedup is
+    attributable to stage overlap alone.
+    """
+    return PipelineConfig(
+        config_space=ConfigurationSpace(granularities=(8, 12, 16), patch_sizes=(1, 2)),
+        profile_resolution=48,
+        object_eval_resolution=48,
+        num_eval_views=1,
+        num_fps_frames=64,
+        backend="serial",
+    )
+
+
+def corpus_dataset(name: str):
+    placed = [
+        PlacedObject(
+            obj=maker(frequency=frequency),
+            translation=np.array([x, 0.0, 0.0]),
+            instance_id=index,
+            instance_name=f"obj{index}",
+        )
+        for index, (maker, frequency, x) in enumerate(CORPUS_SCENES[name])
+    ]
+    return generate_dataset(
+        Scene(placed), num_train=4, num_test=1, resolution=48, name=name
+    )
+
+
+def corpus_jobs() -> list:
+    """Fresh ``(pipeline, dataset)`` jobs — one pipeline instance each."""
+    return [
+        (NeRFlexPipeline(CORPUS_DEVICE, config=corpus_config()), corpus_dataset(name))
+        for name in sorted(CORPUS_SCENES)
+    ]
+
+
+def run_record(pipeline_run) -> str:
+    """The timing-free JSON record of one run (bit-comparable)."""
+    preparation, multi_model, report = pipeline_run
+    record = {
+        "assignments": {
+            name: config.as_tuple()
+            for name, config in sorted(preparation.selection.assignments.items())
+        },
+        "profile_state": [
+            profile.state_tuple() for profile in preparation.profiles
+        ],
+        "report": {
+            "size_mb": multi_model.size_mb(),
+            "loaded": report.loaded,
+            "ssim": report.ssim,
+            "psnr": report.psnr,
+            "lpips": report.lpips,
+            "per_object_ssim": dict(sorted(report.per_object_ssim.items())),
+            "average_fps": report.average_fps,
+            "num_submodels": report.num_submodels,
+            "transport": report.transport_name,
+        },
+    }
+    return json.dumps(record, sort_keys=True, default=list)
+
+
+def stage_sample_rows(jobs, runs) -> list:
+    """Per-stage ``CostSample`` rows from the sequential run's timers."""
+    rows = []
+    for (pipeline, dataset), (_, _, report) in zip(jobs, runs):
+        features = pipeline._stage_features(dataset)
+        for stage, seconds in sorted(report.stage_seconds.items()):
+            rows.append(CostSample.make(stage, features, seconds).as_dict())
+    return rows
+
+
+def test_corpus_dag_matches_sequential_and_overlaps(bench_metrics):
+    sequential_jobs = corpus_jobs()
+    started = time.perf_counter()
+    sequential_runs = run_corpus(sequential_jobs, workers=0)
+    sequential_seconds = time.perf_counter() - started
+
+    dag_jobs = corpus_jobs()
+    started = time.perf_counter()
+    dag_runs = run_corpus(dag_jobs, workers=DAG_WORKERS)
+    dag_seconds = time.perf_counter() - started
+
+    # Bit-identity first: overlap is worthless if it changes the outputs.
+    sequential_records = [run_record(run) for run in sequential_runs]
+    dag_records = [run_record(run) for run in dag_runs]
+    assert dag_records == sequential_records
+
+    speedup = sequential_seconds / max(dag_seconds, 1e-9)
+    bench_metrics["pipeline"] = {
+        "scenes": sorted(CORPUS_SCENES),
+        "workers": DAG_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": round(sequential_seconds, 3),
+        "dag_seconds": round(dag_seconds, 3),
+        "speedup": round(speedup, 3),
+        "stage_samples": stage_sample_rows(sequential_jobs, sequential_runs),
+    }
+    print(
+        f"\n[pipeline corpus] sequential {sequential_seconds:.2f}s, "
+        f"dag({DAG_WORKERS}) {dag_seconds:.2f}s, speedup {speedup:.2f}x"
+    )
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.3, (
+            f"stage-DAG corpus run only {speedup:.2f}x faster than "
+            f"sequential ({dag_seconds:.2f}s vs {sequential_seconds:.2f}s) "
+            f"with {DAG_WORKERS} workers on {os.cpu_count()} cores"
+        )
+
+
+def test_stage_samples_round_trip_into_cost_model(bench_metrics):
+    """The published trajectory rows must be ingestible by the cost model
+    and rank the corpus scenes consistently with their measured times."""
+    from repro.exec import StageCostModel, load_bench_samples
+
+    pipeline_metrics = bench_metrics.get("pipeline")
+    assert pipeline_metrics, "corpus benchmark must run first in this session"
+    payload = {"metrics": {"pipeline": pipeline_metrics}}
+    samples = load_bench_samples(payload)
+    assert samples, "stage_samples rows did not survive the payload round trip"
+    model = StageCostModel().fit(samples)
+    assert set(model.stages) == {s.stage for s in samples}
+    for sample in samples:
+        features = dict(zip(("objects", "candidates", "g_cubed", "rays"), sample.features))
+        assert model.predict(sample.stage, features) > 0.0

@@ -42,6 +42,13 @@ GOLDEN_PACKAGES = (
     # and must stay in scope even if the render package is ever split.
     ("repro", "render", "kernels"),
     ("repro", "baking"),
+    # Likewise covered by ("repro", "exec") but pinned explicitly: the DAG
+    # scheduler's artifact mapping and the cost model's fitted coefficients
+    # both key golden parity tiers (bit-identical reports for any worker
+    # count; same trajectories -> same fit -> same shard plan) and must
+    # stay in scope even if the exec package is ever split.
+    ("repro", "exec", "dag.py"),
+    ("repro", "exec", "costmodel.py"),
 )
 
 #: Inline suppression: ``# repro-analysis: allow=REP-D101 reason...`` or

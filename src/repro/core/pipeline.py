@@ -16,6 +16,17 @@
 
 The wall-clock split across segmentation / profiler / solver is recorded for
 the overhead analysis (Fig. 9).
+
+The staged chain also exists as an explicit task DAG
+(:meth:`NeRFlexPipeline.build_dag`, scheduled by
+:class:`~repro.exec.dag.DagScheduler`): one node per stage, edges derived
+from the artifacts the stages exchange.  For a single scene the DAG is a
+chain — same stages, same timers, bit-identical reports — but
+:func:`run_corpus` unions the DAGs of several independent scenes into one
+graph, so profile/bake/deploy of different scenes overlap on a worker pool
+while per-scene stage order is preserved by the artifact edges alone.
+Node costs come from the measured :mod:`~repro.exec.costmodel` when it is
+fitted, static per-stage hints otherwise.
 """
 
 from __future__ import annotations
@@ -37,11 +48,14 @@ from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.profiler import ObjectProfile, ProfileFitter
 from repro.core.segmentation import DetailBasedSegmenter, SegmentationResult, SubScene
 from repro.core.selector import NeRFlexDPSelector, SelectionResult
+from repro.config import env as repro_env
 from repro.device.memory import MemoryModel
 from repro.device.models import DeviceProfile
 from repro.device.render_sim import RenderSimulator
 from repro.exec.artifacts import ArtifactStore
-from repro.exec.backends import Backend, resolve_backend
+from repro.exec.backends import Backend, resolve_backend, transport_label
+from repro.exec.costmodel import default_cost_model
+from repro.exec.dag import DagNode, DagScheduler, DagValidationError, TaskDag
 from repro.metrics import lpips_proxy, psnr, ssim
 from repro.metrics.fps import FPSTrace
 from repro.nerf.degradation import DegradedField, coverage_detail_scale
@@ -105,6 +119,12 @@ class PipelineConfig:
             installed, numpy otherwise).  Marching and sphere tracing are
             bit-identical across kernels; the volume path is pinned to a
             few ULP (see DESIGN.md "Kernels").
+        dag_workers: worker count of the stage-DAG scheduler that
+            :meth:`NeRFlexPipeline.run` (and :func:`run_corpus`) route
+            through when positive; ``0`` keeps the sequential staged path
+            and ``None`` consults ``REPRO_DAG_WORKERS``.  Reports are
+            bit-identical for any count (pinned in
+            ``tests/test_pipeline_dag.py``); only wall-clock changes.
     """
 
     config_space: ConfigurationSpace = field(default_factory=ConfigurationSpace)
@@ -124,6 +144,7 @@ class PipelineConfig:
     backend: "str | None" = None
     transport: "str | None" = None
     kernel: "str | None" = None
+    dag_workers: "int | None" = None
 
 
 @dataclass
@@ -180,8 +201,10 @@ class DeploymentReport:
     overhead_seconds: dict = field(default_factory=dict)
     backend_name: str = ""
     #: Worker-transport name of a daemon-backed backend (``"fork"`` /
-    #: ``"tcp"``); empty for the in-process backends.
-    transport_name: str = ""
+    #: ``"tcp"``); the explicit ``"none"`` for the in-process backends —
+    #: never the empty string, so consumers can tell "no transport" from
+    #: "field missing" (see :func:`repro.exec.backends.transport_label`).
+    transport_name: str = "none"
     stage_seconds: dict = field(default_factory=dict)
     worker_seconds: dict = field(default_factory=dict)
     #: Snapshot of the pipeline's artifact-store statistics at deploy time
@@ -217,6 +240,20 @@ def _bake_geometry_task(task: tuple):
     identity is stable across maps and pipelines — bake maps on every
     pipeline reuse the same worker daemons instead of respawning them)."""
     return bake_geometry(task[1], task[2])
+
+
+#: Static per-stage cost hints (relative units, scaled by object count) the
+#: DAG scheduler falls back to when the measured cost model has no fit for a
+#: stage.  Keys are the stage timer channels — the same labels
+#: ``BENCH_*.json`` trajectories record, so a fitted model overrides these
+#: hints stage by stage.
+STATIC_STAGE_HINTS = {
+    "segmentation": 1.0,
+    "profiler": 8.0,
+    "solver": 1.0,
+    "bake": 4.0,
+    "deploy": 2.0,
+}
 
 
 def object_evaluation_cameras(dataset, resolution: int = 128) -> dict:
@@ -425,6 +462,12 @@ class NeRFlexPipeline:
             and self.artifacts.disk is not None
         ):
             self.backend.store = self.artifacts.disk
+        # The measured cost model behind DAG node costs and sharded-map cost
+        # hints: the cluster backend already owns one (shared so planner and
+        # scheduler agree); otherwise the environment-configured default —
+        # fitted from $REPRO_COST_DIR trajectories when set, unfitted (every
+        # prediction falls back to the static hints) otherwise.
+        self.cost_model = getattr(self.backend, "cost_model", None) or default_cost_model()
         self.engine = engine or RenderEngine(
             chunk_rays=self.config.render_chunk_rays,
             workers=self.config.render_workers,
@@ -605,6 +648,22 @@ class NeRFlexPipeline:
                 cost += float(config.granularity) ** 3 * float(config.patch_size)
         return max(cost, 1.0)
 
+    def _profile_features(self, dataset, sub_scene: SubScene) -> dict:
+        """Cost-model features of one sub-scene's profile fit (see
+        :data:`repro.exec.costmodel.FEATURE_NAMES`)."""
+        missing = [
+            config
+            for config in self.config.config_space.profiling_configs()
+            if (dataset.name, sub_scene.name, config.granularity, config.patch_size)
+            not in self.measurement_cache
+        ]
+        return {
+            "objects": 1.0,
+            "candidates": float(len(missing)),
+            "g_cubed": float(sum(float(c.granularity) ** 3 for c in missing)),
+            "rays": float(self.config.render_chunk_rays),
+        }
+
     def _profile_objects_sharded(
         self, dataset, pending: list, timers: "StageTimer | None"
     ) -> list:
@@ -629,6 +688,9 @@ class NeRFlexPipeline:
         daemons (the same per-map fork as before this refactor); scenes
         built from picklable fields get daemon reuse for free.
         """
+        # ``cost_stage``/``cost_features`` let a fitted cost model replace
+        # the static g^3-derived hints with measured per-object seconds;
+        # the hints remain the fallback for unfitted stages.
         return self.backend.map(
             self._sharded_fit_task(dataset),
             pending,
@@ -636,6 +698,10 @@ class NeRFlexPipeline:
             stage="profiler",
             costs=[self._profile_cost(dataset, entry[0]) for entry in pending],
             cost_keys=[entry[3] for entry in pending],
+            cost_stage="profiler",
+            cost_features=[
+                self._profile_features(dataset, entry[0]) for entry in pending
+            ],
         )
 
     def _sharded_fit_task(self, dataset):
@@ -869,8 +935,19 @@ class NeRFlexPipeline:
                 if getattr(self.backend, "supports_cost_hints", False):
                     # Voxelisation work scales with the granularity cube; the
                     # shard planner balances mixed-granularity bakes with it.
+                    # A fitted cost model upgrades the hints to measured
+                    # seconds (the g^3 hints stay the fallback).
                     map_kwargs["costs"] = [
                         float(granularity) ** 3 for _, _, granularity in tasks
+                    ]
+                    map_kwargs["cost_stage"] = "bake"
+                    map_kwargs["cost_features"] = [
+                        {
+                            "objects": 1.0,
+                            "g_cubed": float(granularity) ** 3,
+                            "rays": float(self.config.render_chunk_rays),
+                        }
+                        for _, _, granularity in tasks
                     ]
                 computed = self.backend.map(
                     _bake_geometry_task,
@@ -1002,19 +1079,191 @@ class NeRFlexPipeline:
                 engine=self.engine,
                 backend_name=self.backend.name,
             )
-        report.transport_name = getattr(
-            getattr(self.backend, "transport", None), "name", ""
-        )
+        report.transport_name = transport_label(self.backend)
         if preparation is not None:
-            report.overhead_seconds = preparation.overhead_seconds
-            report.stage_seconds = preparation.stage_seconds
-            report.worker_seconds = timers.worker_as_dict()
+            # Explicit copies: the report must stay a frozen snapshot even
+            # if the preparation's timers keep accumulating (a later bake or
+            # re-deploy against the same preparation must not rewrite an
+            # already-returned report's stage split).
+            report.overhead_seconds = dict(preparation.overhead_seconds)
+            report.stage_seconds = dict(preparation.stage_seconds)
+            report.worker_seconds = dict(timers.worker_as_dict())
         if self.artifacts is not None:
             report.artifact_stats = self.artifacts.stats_summary()
         return report
 
+    # -- the stage DAG ----------------------------------------------------------
+
+    def _stage_features(self, dataset) -> dict:
+        """Cost-model features of one whole-scene stage node (see
+        :data:`repro.exec.costmodel.FEATURE_NAMES`)."""
+        space = self.config.config_space
+        return {
+            "objects": float(len(dataset.scene.placed)),
+            "candidates": float(len(space.profiling_configs())),
+            "g_cubed": float(max(space.granularities)) ** 3,
+            "rays": float(self.config.render_chunk_rays),
+        }
+
+    def _stage_node_cost(self, stage: str, features: dict) -> float:
+        """Predicted seconds of one stage node — measured model when fitted
+        for the stage, :data:`STATIC_STAGE_HINTS` scaled by object count
+        otherwise."""
+        hint = STATIC_STAGE_HINTS.get(stage, 1.0) * max(features.get("objects", 1.0), 1.0)
+        return self.cost_model.predict(stage, features, fallback=hint)
+
+    def build_dag(self, dataset, dag: "TaskDag | None" = None) -> TaskDag:
+        """Add this pipeline's staged run on ``dataset`` to a task DAG.
+
+        One :class:`~repro.exec.dag.DagNode` per stage, named
+        ``"<stage>:<scene>"`` and exchanging artifacts named
+        ``"<scene>/<artifact>"`` (``scene`` is the dataset name).  The
+        caller seeds ``"<scene>/dataset"``; the run produces
+        ``"<scene>/preparation"``, ``"<scene>/bundle"`` and
+        ``"<scene>/report"``.  Node bodies run the exact same timed stage
+        code as :meth:`prepare` / :meth:`bake` / :meth:`deploy` — same
+        :class:`~repro.utils.timing.StageTimer` channels, same engine
+        attribution — so a DAG run's reports are bit-identical to the
+        sequential path for any worker count (timings excepted, as always).
+        Within one scene the nodes form a chain, so per-scene stage order
+        (and the engine's one-attribution-at-a-time discipline) is
+        preserved by the artifact edges alone; parallelism comes from
+        unioning several scenes' chains into one graph
+        (:func:`run_corpus`).  Node costs are measured-model predictions
+        with static-hint fallback (:meth:`_stage_node_cost`), so the
+        scheduler dispatches the heaviest ready stage first.
+
+        Pass an existing ``dag`` to union several pipelines' chains; scene
+        names must be unique across them (enforced by the DAG's
+        unique-producer rule).
+        """
+        dag = dag if dag is not None else TaskDag()
+        scene = getattr(dataset, "name", "") or "scene"
+        features = self._stage_features(dataset)
+
+        def segment_body(inputs: dict) -> dict:
+            timers = StageTimer()
+            with timers.time("segmentation"):
+                segmentation = self.stage_segment(inputs[f"{scene}/dataset"])
+            return {
+                f"{scene}/segmentation": segmentation,
+                f"{scene}/timers": timers,
+            }
+
+        dag.add(DagNode(
+            name=f"segment:{scene}",
+            stage="segmentation",
+            scene=scene,
+            body=segment_body,
+            inputs=(f"{scene}/dataset",),
+            outputs=(f"{scene}/segmentation", f"{scene}/timers"),
+            cost=self._stage_node_cost("segmentation", features),
+        ))
+
+        def profile_body(inputs: dict):
+            timers = inputs[f"{scene}/timers"]
+            with timers.time("profiler"), self.engine.attribute(
+                timers, "render:profiler"
+            ):
+                return self.stage_profile(
+                    inputs[f"{scene}/dataset"],
+                    inputs[f"{scene}/segmentation"],
+                    timers,
+                )
+
+        dag.add(DagNode(
+            name=f"profile:{scene}",
+            stage="profiler",
+            scene=scene,
+            body=profile_body,
+            inputs=(
+                f"{scene}/dataset",
+                f"{scene}/segmentation",
+                f"{scene}/timers",
+            ),
+            outputs=(f"{scene}/profile",),
+            cost=self._stage_node_cost("profiler", features),
+        ))
+
+        def select_body(inputs: dict) -> PreparationResult:
+            timers = inputs[f"{scene}/timers"]
+            fields, truths, profiles = inputs[f"{scene}/profile"]
+            with timers.time("solver"):
+                selection = self.stage_select(profiles)
+            return PreparationResult(
+                segmentation=inputs[f"{scene}/segmentation"],
+                profiles=profiles,
+                selection=selection,
+                timers=timers,
+                fields=fields,
+                truths=truths,
+                dataset_name=getattr(inputs[f"{scene}/dataset"], "name", ""),
+            )
+
+        dag.add(DagNode(
+            name=f"select:{scene}",
+            stage="solver",
+            scene=scene,
+            body=select_body,
+            inputs=(
+                f"{scene}/dataset",
+                f"{scene}/segmentation",
+                f"{scene}/profile",
+                f"{scene}/timers",
+            ),
+            outputs=(f"{scene}/preparation",),
+            cost=self._stage_node_cost("solver", features),
+        ))
+
+        def bake_body(inputs: dict) -> BakedMultiModel:
+            return self.bake(inputs[f"{scene}/preparation"])
+
+        dag.add(DagNode(
+            name=f"bake:{scene}",
+            stage="bake",
+            scene=scene,
+            body=bake_body,
+            inputs=(f"{scene}/preparation",),
+            outputs=(f"{scene}/bundle",),
+            cost=self._stage_node_cost("bake", features),
+        ))
+
+        def deploy_body(inputs: dict) -> DeploymentReport:
+            return self.deploy(
+                inputs[f"{scene}/bundle"],
+                inputs[f"{scene}/dataset"],
+                inputs[f"{scene}/preparation"],
+            )
+
+        dag.add(DagNode(
+            name=f"deploy:{scene}",
+            stage="deploy",
+            scene=scene,
+            body=deploy_body,
+            inputs=(
+                f"{scene}/bundle",
+                f"{scene}/dataset",
+                f"{scene}/preparation",
+            ),
+            outputs=(f"{scene}/report",),
+            cost=self._stage_node_cost("deploy", features),
+        ))
+        return dag
+
+    def _dag_workers(self) -> int:
+        """The effective stage-DAG worker count (config, else environment)."""
+        workers = self.config.dag_workers
+        if workers is None:
+            workers = repro_env.REPRO_DAG_WORKERS.get()
+        return max(int(workers), 0)
+
     def run(self, dataset) -> tuple:
         """Full staged pipeline: segment/profile/select, bake, deploy.
+
+        Routed through the stage-DAG scheduler when ``config.dag_workers``
+        (or ``REPRO_DAG_WORKERS``) is positive — for a single scene the DAG
+        is a chain, so this exercises the DAG machinery without changing
+        any output; the sequential staged path remains the default.
 
         Returns:
             ``(preparation, multi_model, report)``.  Every stage's
@@ -1022,7 +1271,76 @@ class NeRFlexPipeline:
             ``profiler`` / ``solver`` / ``bake`` / ``deploy``), and the
             report records the split together with the execution backend.
         """
+        workers = self._dag_workers()
+        if workers > 0:
+            scene = getattr(dataset, "name", "") or "scene"
+            result = DagScheduler(workers=workers).run(
+                self.build_dag(dataset),
+                artifacts={f"{scene}/dataset": dataset},
+            )
+            return (
+                result.artifacts[f"{scene}/preparation"],
+                result.artifacts[f"{scene}/bundle"],
+                result.artifacts[f"{scene}/report"],
+            )
         preparation = self.prepare(dataset)
         multi_model = self.bake(preparation)
         report = self.deploy(multi_model, dataset, preparation)
         return preparation, multi_model, report
+
+
+def run_corpus(jobs, workers: int = 0) -> list:
+    """Run several independent ``(pipeline, dataset)`` jobs, optionally
+    overlapping their stages on the stage-DAG scheduler.
+
+    Args:
+        jobs: ``(pipeline, dataset)`` pairs.  Dataset names must be unique
+            (they key the artifact namespace), and with ``workers > 0``
+            each job must bring its **own** pipeline instance — a
+            pipeline's engine attributes render time to one stage at a
+            time, so sharing one across concurrently running scenes would
+            cross-credit their timers.
+        workers: ``0`` runs the jobs as a plain sequential
+            ``pipeline.run(dataset)`` loop — the bit-identity reference;
+            ``>= 1`` unions every job's stage chain into one task DAG and
+            schedules it on that many workers, so stages of *different*
+            scenes overlap while per-scene stage order is preserved.
+
+    Returns:
+        One ``(preparation, multi_model, report)`` tuple per job, in job
+        order — identical (timings aside) for every ``workers`` value,
+        pinned by the golden DAG-parity tier.
+    """
+    jobs = list(jobs)
+    if workers <= 0:
+        return [pipeline.run(dataset) for pipeline, dataset in jobs]
+    dag = TaskDag()
+    seeds: dict = {}
+    scenes: list = []
+    pipelines: list = []
+    for pipeline, dataset in jobs:
+        scene = getattr(dataset, "name", "") or "scene"
+        if scene in scenes:
+            raise DagValidationError(
+                f"duplicate scene label {scene!r} in corpus; dataset names "
+                "key the artifact namespace and must be unique"
+            )
+        if any(pipeline is previous for previous in pipelines):
+            raise DagValidationError(
+                "one pipeline instance appears in several corpus jobs; each "
+                "job needs its own (engines attribute render time to one "
+                "running stage at a time)"
+            )
+        pipelines.append(pipeline)
+        pipeline.build_dag(dataset, dag=dag)
+        seeds[f"{scene}/dataset"] = dataset
+        scenes.append(scene)
+    result = DagScheduler(workers=workers).run(dag, artifacts=seeds)
+    return [
+        (
+            result.artifacts[f"{scene}/preparation"],
+            result.artifacts[f"{scene}/bundle"],
+            result.artifacts[f"{scene}/report"],
+        )
+        for scene in scenes
+    ]

@@ -103,26 +103,36 @@ class QualityModel:
 
         initial = (min(float(quality.max()) + 0.03, 1.0), 5.0, 8.0, 1.0)
         bounds = ([0.0, 0.0, 0.01, 0.01], [1.2, 1e4, 1e3, 1e2])
+        degenerate = True
+        params = None
         try:
             with warnings.catch_warnings():
-                # Degenerate measurement sets (constant quality, collinear
-                # samples) make the covariance inestimable; scipy reports
-                # that as an OptimizeWarning.  Escalate it so such fits take
-                # the deterministic linear fallback instead of emitting a
-                # warning with dubious parameters.
-                warnings.simplefilter("error", OptimizeWarning)
-                params, _ = curve_fit(
+                warnings.simplefilter("ignore", OptimizeWarning)
+                params, pcov = curve_fit(
                     model, (g, p), quality, p0=initial, bounds=bounds, maxfev=20000
                 )
+            # Degenerate measurement sets (constant quality, collinear
+            # samples) make the covariance inestimable; scipy fills pcov
+            # with inf and warns.  The condition is read off pcov rather
+            # than by escalating the warning to an error: warning filters
+            # are process-global state, and the stage-DAG scheduler fits
+            # profiles of independent scenes concurrently — an "error"
+            # filter installed here could be restored mid-fit by a sibling
+            # thread (or leak into its fits), making the fallback decision
+            # racy.  Degenerate fits take the deterministic linear fallback
+            # instead of keeping dubious parameters.
+            degenerate = not bool(np.all(np.isfinite(pcov)))
+        except (RuntimeError, ValueError):
+            degenerate = True
+        if not degenerate:
             return cls(qmax=float(params[0]), k=float(params[1]), a=float(params[2]), b=float(params[3]))
-        except (RuntimeError, ValueError, OptimizeWarning):
-            # Fallback: fix the offsets and solve the linear problem in
-            # (qmax, k) exactly.
-            a_fixed, b_fixed = 8.0, 1.0
-            basis = 1.0 / ((g + a_fixed) * (p + b_fixed))
-            features = np.stack([np.ones_like(basis), -basis], axis=1)
-            coeffs, *_ = np.linalg.lstsq(features, quality, rcond=None)
-            return cls(qmax=float(coeffs[0]), k=float(coeffs[1]), a=a_fixed, b=b_fixed)
+        # Fallback: fix the offsets and solve the linear problem in
+        # (qmax, k) exactly.
+        a_fixed, b_fixed = 8.0, 1.0
+        basis = 1.0 / ((g + a_fixed) * (p + b_fixed))
+        features = np.stack([np.ones_like(basis), -basis], axis=1)
+        coeffs, *_ = np.linalg.lstsq(features, quality, rcond=None)
+        return cls(qmax=float(coeffs[0]), k=float(coeffs[1]), a=a_fixed, b=b_fixed)
 
 
 @dataclass

@@ -10,7 +10,10 @@ worker-daemon lifecycle both parallel backends share,
 pipeline runs reuse profile curves and baked models across devices,
 selectors and repeated ``prepare()`` calls, and :mod:`repro.exec.persist`
 for the on-disk tier that extends that reuse across invocations
-(``$REPRO_ARTIFACT_DIR``).
+(``$REPRO_ARTIFACT_DIR``).  :mod:`repro.exec.dag` lifts the staged
+pipeline into an explicit artifact-keyed task DAG scheduled over a bounded
+pool, and :mod:`repro.exec.costmodel` fits the measured per-stage cost
+model its (and the shard planner's) cost hints come from.
 """
 
 from repro.exec.artifacts import ArtifactStats, ArtifactStore, create_artifact_store
@@ -29,6 +32,7 @@ from repro.exec.backends import (
     resolve_backend,
     shard_rng,
     shutdown_process_pools,
+    transport_label,
 )
 from repro.exec.cluster import (
     ClusterBackend,
@@ -36,6 +40,22 @@ from repro.exec.cluster import (
     ClusterTaskError,
     ShardPlanner,
     store_aware_costs,
+)
+from repro.exec.costmodel import (
+    CostSample,
+    FEATURE_NAMES,
+    StageCostModel,
+    default_cost_model,
+    fit_from_bench_dir,
+    load_bench_samples,
+    rank_concordance,
+)
+from repro.exec.dag import (
+    DagNode,
+    DagRunResult,
+    DagScheduler,
+    DagValidationError,
+    TaskDag,
 )
 from repro.exec.persist import (
     ARTIFACT_DIR_ENV_VAR,
@@ -71,8 +91,14 @@ __all__ = [
     "ClusterBackend",
     "ClusterStats",
     "ClusterTaskError",
+    "CostSample",
     "DEFAULT_BACKEND_NAME",
     "DEFAULT_TRANSPORT_NAME",
+    "DagNode",
+    "DagRunResult",
+    "DagScheduler",
+    "DagValidationError",
+    "FEATURE_NAMES",
     "DiskArtifactStore",
     "DiskStoreStats",
     "ForkSocketpairTransport",
@@ -81,8 +107,10 @@ __all__ = [
     "SerialBackend",
     "Shard",
     "ShardPlanner",
+    "StageCostModel",
     "TRANSPORT_ENV_VAR",
     "TRANSPORTS",
+    "TaskDag",
     "TcpTransport",
     "ThreadBackend",
     "Transport",
@@ -91,14 +119,19 @@ __all__ = [
     "artifact_dir_from_env",
     "create_artifact_store",
     "default_artifact_dir",
+    "default_cost_model",
+    "fit_from_bench_dir",
     "fork_available",
     "fresh_seed_root",
     "in_worker_process",
     "known_backend_names",
+    "load_bench_samples",
+    "rank_concordance",
     "resolve_backend",
     "resolve_transport",
     "shard_rng",
     "shutdown_process_pools",
     "shutdown_worker_hosts",
     "store_aware_costs",
+    "transport_label",
 ]

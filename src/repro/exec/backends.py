@@ -110,6 +110,17 @@ def shard_rng(seed: "int | None", shard_index: int) -> np.random.Generator:
 shutdown_process_pools = shutdown_worker_hosts
 
 
+def transport_label(backend) -> str:
+    """The worker-transport name a report should carry for ``backend``.
+
+    Daemon-backed backends report their transport's name (``"fork"`` /
+    ``"tcp"``); in-process backends have no transport and report the
+    explicit ``"none"`` — never the empty string, so report consumers can
+    distinguish "no transport" from "field missing".
+    """
+    return getattr(getattr(backend, "transport", None), "name", None) or "none"
+
+
 class Backend:
     """Ordered-map execution backend.
 

@@ -43,11 +43,18 @@ Scheduling properties:
   finishes a shard immediately takes the heaviest remaining one.  When the
   queue drains while shards are still in flight, idle workers *steal*
   straggler shards by speculatively re-executing them — but only shards
-  that have been running at least twice the average completed-shard
+  that have been running at least twice the **median** completed-shard
   duration (the MapReduce backup-task heuristic), and at most one
   duplicate per shard, so an oversubscribed host is not flooded with
-  redundant work.  First completion wins; duplicates are harmless because
-  shards are pure and deterministic.
+  redundant work.  The baseline excludes shards the planner marked as
+  store hits: their near-zero load-from-disk durations say nothing about
+  how long cold compute should take, and averaging them in is exactly
+  what used to trigger spurious duplicates of perfectly healthy cold
+  shards.  When the map's costs came from a fitted
+  :class:`~repro.exec.costmodel.StageCostModel`, each shard's predicted
+  seconds additionally floor its steal age — a shard predicted to be slow
+  is not a straggler for merely being slow.  First completion wins;
+  duplicates are harmless because shards are pure and deterministic.
 * **Retry on worker death.**  A worker that dies mid-shard (killed, OOMed,
   crashed) is detected by its connection closing; its in-flight shard is
   re-queued at the front and a replacement worker is spawned, up to a
@@ -68,6 +75,7 @@ import heapq
 import os
 import time
 from dataclasses import dataclass
+from statistics import median
 
 from repro.exec.backends import (
     BACKENDS,
@@ -75,6 +83,7 @@ from repro.exec.backends import (
     SerialBackend,
     in_worker_process,
 )
+from repro.exec.costmodel import StageCostModel, default_cost_model
 from repro.exec.persist import DiskArtifactStore, artifact_dir_from_env
 from repro.exec.worker import Shard, WorkerHost, WorkerTaskError
 
@@ -152,7 +161,13 @@ class ShardPlanner:
 
 
 def store_aware_costs(
-    keys, store: "DiskArtifactStore | None", base_costs=None, hit_discount: float = 0.05
+    keys,
+    store: "DiskArtifactStore | None",
+    base_costs=None,
+    hit_discount: float = 0.05,
+    model: "StageCostModel | None" = None,
+    stage: "str | None" = None,
+    features=None,
 ) -> list:
     """Cost hints that make already-persisted artefacts cheap shards.
 
@@ -160,10 +175,24 @@ def store_aware_costs(
         keys: one content-addressed store key (or ``None``) per item.
         store: the shared on-disk store the workers will consult; ``None``
             leaves the base costs untouched.
-        base_costs: optional caller cost model (defaults to uniform 1.0).
+        base_costs: optional caller cost hints (defaults to uniform 1.0).
         hit_discount: multiplier applied to an item whose artefact is
             already on disk — the worker will load it instead of computing.
+        model: optional fitted :class:`~repro.exec.costmodel.StageCostModel`;
+            when it is fitted for ``stage`` and ``features`` supplies one
+            feature mapping per item, its predicted seconds replace
+            ``base_costs`` as the pre-discount costs (the static hints stay
+            the fallback for unfitted stages).
+        features: one cost-model feature mapping per item (see
+            :data:`~repro.exec.costmodel.FEATURE_NAMES`).
     """
+    if (
+        model is not None
+        and stage is not None
+        and features is not None
+        and model.is_fitted(stage)
+    ):
+        base_costs = model.predict_costs(stage, features, fallbacks=base_costs)
     costs = []
     for position, key in enumerate(keys):
         cost = 1.0 if base_costs is None else max(float(base_costs[position]), 0.0)
@@ -228,6 +257,11 @@ class ClusterBackend(Backend):
         speculate: enable speculative re-execution of straggler shards.
         transport: worker transport (name or instance); ``None`` consults
             ``REPRO_TRANSPORT`` and defaults to socketpair+fork.
+        cost_model: measured :class:`~repro.exec.costmodel.StageCostModel`
+            consulted when a map carries ``cost_stage``/``cost_features``
+            hints; ``None`` builds the environment-configured default
+            (fitted from ``$REPRO_COST_DIR`` when set, otherwise unfitted
+            so every plan falls back to the caller's static hints).
 
     Falls back to the serial loop exactly like the process backend: single
     worker, single item, platforms where the transport cannot launch
@@ -250,6 +284,7 @@ class ClusterBackend(Backend):
         max_respawns: "int | None" = None,
         speculate: bool = True,
         transport=None,
+        cost_model: "StageCostModel | None" = None,
     ) -> None:
         default = os.cpu_count() or 1
         self.workers = max(int(workers) if workers is not None else default, 1)
@@ -259,6 +294,11 @@ class ClusterBackend(Backend):
             store = DiskArtifactStore(directory) if directory else None
         self.store = store
         self.speculate = bool(speculate)
+        self.cost_model = cost_model if cost_model is not None else default_cost_model()
+        #: Per-shard ``(shard_index, wall seconds)`` of the most recent
+        #: map's first-accepted completions — the measured durations a
+        #: caller can fold back into cost-model trajectories.
+        self.last_accepted_durations: list = []
         self.host = WorkerHost(
             transport=transport, workers=self.workers, max_respawns=max_respawns
         )
@@ -280,20 +320,39 @@ class ClusterBackend(Backend):
     # -- the steal policy ----------------------------------------------------
 
     @staticmethod
-    def _steal_candidate(view, worker_id: int):
+    def _steal_candidate(
+        view,
+        worker_id: int,
+        cheap_shards: frozenset = frozenset(),
+        predicted_seconds: "dict | None" = None,
+    ):
         """Backup-task heuristic: steal only a shard whose single active
-        attempt has outlived twice the average completed duration, and
-        never run more than one duplicate.  Without completed shards there
-        is no baseline, so nothing is stolen yet."""
-        if not view.completed_durations:
+        attempt has outlived twice the *median* completed duration, and
+        never run more than one duplicate.
+
+        The baseline median excludes ``cheap_shards`` (shards the planner
+        marked as store hits): a shard served from disk completes in
+        near-zero time, and folding those durations into the baseline — as
+        the original mean-of-everything did — collapses the threshold and
+        duplicates perfectly healthy cold shards.  The median (not the
+        mean) keeps the remaining baseline robust to the occasional
+        outlier completion.  ``predicted_seconds`` (per shard index, from
+        a fitted cost model) floors each candidate's steal age at twice
+        its own prediction, so work *predicted* slow is not treated as
+        straggling for running exactly as long as predicted.  Without any
+        comparable completed shard there is no baseline, so nothing is
+        stolen yet."""
+        durations = [
+            seconds
+            for shard_index, seconds in view.completed_durations
+            if shard_index not in cheap_shards
+        ]
+        if not durations:
             return None
-        threshold = max(
-            2.0 * (sum(view.completed_durations) / len(view.completed_durations)),
-            0.05,
-        )
+        threshold = max(2.0 * median(durations), 0.05)
         now = time.perf_counter()
         best = None
-        best_age = threshold
+        best_age = 0.0
         for index, running in view.in_flight.items():
             if index in view.completed or len(running) != 1:
                 continue
@@ -301,7 +360,10 @@ class ClusterBackend(Backend):
                 continue
             (runner,) = running
             age = now - view.dispatch_started.get((index, runner), now)
-            if age >= best_age:
+            floor = threshold
+            if predicted_seconds is not None:
+                floor = max(floor, 2.0 * float(predicted_seconds.get(index, 0.0)))
+            if age >= floor and age > best_age:
                 best, best_age = view.shard_by_index[index], age
         return best
 
@@ -315,6 +377,8 @@ class ClusterBackend(Backend):
         stage=None,
         costs=None,
         cost_keys=None,
+        cost_stage=None,
+        cost_features=None,
     ) -> list:
         items = list(items)
         if (
@@ -325,23 +389,56 @@ class ClusterBackend(Backend):
         ):
             self.stats.serial_fallbacks += 1
             return SerialBackend().map(fn, items, timer=timer, stage=stage)
+        model_costs = (
+            cost_stage is not None
+            and cost_features is not None
+            and len(cost_features) == len(items)
+            and self.cost_model.is_fitted(cost_stage)
+        )
+        if model_costs:
+            costs = self.cost_model.predict_costs(
+                cost_stage, cost_features, fallbacks=costs
+            )
+        cheap_positions = frozenset()
         if cost_keys is not None:
             before = costs
             costs = store_aware_costs(cost_keys, self.store, base_costs=costs)
             if self.store is not None:
-                self.stats.store_cheap_items += sum(
-                    1
+                cheap_positions = frozenset(
+                    position
                     for position, cost in enumerate(costs)
                     if cost < (1.0 if before is None else float(before[position]))
                 )
+                self.stats.store_cheap_items += len(cheap_positions)
         shards = self.planner.plan(len(items), self.workers, costs)
         self.stats.shards_planned += len(shards)
+        # Shards made entirely of store hits are excluded from the steal
+        # baseline, and model-predicted shard seconds floor steal ages —
+        # see :meth:`_steal_candidate`.
+        cheap_shards = frozenset(
+            shard.index
+            for shard in shards
+            if shard.item_indices
+            and all(position in cheap_positions for position in shard.item_indices)
+        )
+        predicted_seconds = (
+            {shard.index: shard.cost for shard in shards} if model_costs else None
+        )
+        steal = None
+        if self.speculate:
+            def steal(view, worker_id, *,
+                      _cheap=cheap_shards, _predicted=predicted_seconds):
+                return ClusterBackend._steal_candidate(
+                    view, worker_id,
+                    cheap_shards=_cheap, predicted_seconds=_predicted,
+                )
         results, report = self.host.run(
             fn,
             items,
             shards,
-            steal=self._steal_candidate if self.speculate else None,
+            steal=steal,
         )
+        self.last_accepted_durations = list(report.accepted_durations)
         self.stats.maps += 1
         self.stats.workers_spawned += report.spawned
         self.stats.workers_reused += report.reused_workers

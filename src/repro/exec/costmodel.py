@@ -1,0 +1,257 @@
+"""A measured per-stage cost model for shard planning and stealing.
+
+The :class:`~repro.exec.cluster.ShardPlanner` and the pipeline's stage
+hints have so far planned from *static* proxies — ``g^3`` voxel work for a
+bake, sample counts for a profile fit.  Those proxies rank small workloads
+correctly but drift as soon as a stage's constant factors dominate (store
+round-trips, texture assembly, simulator traces).  Meanwhile every
+benchmark session already emits a ``BENCH_<suite>.json`` trajectory with
+measured per-stage wall clocks; this module closes the loop by fitting a
+small deterministic regression over those trajectories:
+
+* :class:`CostSample` — one measured row: a stage name, a feature mapping
+  (object count, candidate count, ``g^3``, chunk rays) and the observed
+  seconds.
+* :class:`StageCostModel` — per-stage ridge least squares over the
+  canonical :data:`FEATURE_NAMES` columns, solved by normal equations
+  (``numpy.linalg.solve`` on a symmetric system — no iterative solver, no
+  tolerance knobs, so the same samples always produce the same
+  coefficients).  :meth:`~StageCostModel.predict` falls back to the
+  caller's static hint for any stage without fitted history — the model
+  *refines* planning, it never gates it.
+* :func:`load_bench_samples` / :func:`fit_from_bench_dir` — read the
+  ``metrics.pipeline.stage_samples`` rows out of accumulated
+  ``BENCH_*.json`` files (sorted by filename, so fitting order — and hence
+  the fit — is invocation-order-independent).
+* :func:`rank_concordance` — the pairwise rank-agreement score the test
+  tier uses to assert that fitted predictions order held-out rows at least
+  as well as the static hints they replace.
+
+Predictions are *seconds*, so they are directly comparable with the
+measured shard durations the worker host reports
+(:class:`~repro.exec.worker.HostRunReport.accepted_durations`) and can
+floor the straggler-steal age threshold (see
+:meth:`repro.exec.cluster.ClusterBackend._steal_candidate`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import env as repro_env
+
+#: Canonical feature columns, in design-matrix order.  Every sample may
+#: supply any subset; missing features are zero (an absent workload axis,
+#: not missing data).
+FEATURE_NAMES = ("objects", "candidates", "g_cubed", "rays")
+
+#: Ridge weight of the normal equations — just enough to keep rank-deficient
+#: trajectories (e.g. every sample from one scene size) solvable without
+#: visibly biasing a well-conditioned fit.
+_RIDGE = 1e-6
+
+#: Floor on predictions: a fitted plane can dip below zero outside its
+#: training range, and a non-positive cost would corrupt LPT planning.
+_MIN_PREDICTION = 1e-6
+
+
+@dataclass(frozen=True)
+class CostSample:
+    """One measured trajectory row: ``stage`` took ``seconds`` on a workload
+    described by ``features`` (a mapping over :data:`FEATURE_NAMES`)."""
+
+    stage: str
+    features: tuple
+    seconds: float
+
+    @classmethod
+    def make(cls, stage: str, features: dict, seconds: float) -> "CostSample":
+        """Build a sample from a feature mapping (canonical column order)."""
+        row = tuple(
+            float(features.get(name, 0.0)) for name in FEATURE_NAMES
+        )
+        return cls(stage=str(stage), features=row, seconds=float(seconds))
+
+    def as_dict(self) -> dict:
+        """The trajectory-file rendering of this sample."""
+        return {
+            "stage": self.stage,
+            "features": {
+                name: value
+                for name, value in zip(FEATURE_NAMES, self.features)
+                if value != 0.0
+            },
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class StageCostModel:
+    """Per-stage linear seconds model with static-hint fallback.
+
+    ``coefficients`` maps a stage name to the fitted weight vector
+    ``(intercept, *FEATURE_NAMES)``.  An unfitted stage predicts the
+    caller-supplied fallback, so wiring the model into a planner is always
+    safe: with no history the plan is exactly the static-hint plan.
+    """
+
+    coefficients: dict = field(default_factory=dict)
+
+    def is_fitted(self, stage: str) -> bool:
+        return stage in self.coefficients
+
+    @property
+    def stages(self) -> list:
+        """Fitted stage names, sorted (deterministic presentation order)."""
+        return sorted(self.coefficients)
+
+    def fit(self, samples) -> "StageCostModel":
+        """Fit one ridge least-squares plane per stage; returns ``self``.
+
+        Stages are fitted independently from their own samples; a stage
+        with fewer samples than coefficients still solves (the ridge term
+        regularises the normal equations) but extrapolates accordingly.
+        Column scaling by each feature's maximum magnitude keeps ``g^3``
+        (thousands) and object counts (single digits) on comparable
+        footing, and is undone when the coefficients are stored, so
+        :meth:`predict` works on raw features.
+        """
+        by_stage: dict = {}
+        for sample in samples:
+            by_stage.setdefault(sample.stage, []).append(sample)
+        coefficients: dict = {}
+        width = 1 + len(FEATURE_NAMES)
+        for stage in sorted(by_stage):
+            rows = by_stage[stage]
+            design = np.ones((len(rows), width), dtype=np.float64)
+            target = np.empty(len(rows), dtype=np.float64)
+            for position, sample in enumerate(rows):
+                design[position, 1:] = sample.features
+                target[position] = sample.seconds
+            scale = np.maximum(np.max(np.abs(design), axis=0), 1.0)
+            scaled = design / scale
+            gram = scaled.T @ scaled + _RIDGE * np.eye(width)
+            weights = np.linalg.solve(gram, scaled.T @ target)
+            coefficients[stage] = tuple(float(w) for w in weights / scale)
+        self.coefficients = coefficients
+        return self
+
+    def predict(self, stage: str, features: dict, fallback: float = 1.0) -> float:
+        """Predicted seconds of ``stage`` on ``features``; the fallback (a
+        static hint) when the stage has no fitted history."""
+        weights = self.coefficients.get(stage)
+        if weights is None:
+            return float(fallback)
+        total = weights[0]
+        for position, name in enumerate(FEATURE_NAMES):
+            total += weights[1 + position] * float(features.get(name, 0.0))
+        return max(float(total), _MIN_PREDICTION)
+
+    def predict_costs(self, stage: str, feature_rows, fallbacks=None) -> list:
+        """Vector form of :meth:`predict` for one map's items."""
+        costs = []
+        for position, features in enumerate(feature_rows):
+            fallback = 1.0 if fallbacks is None else float(fallbacks[position])
+            costs.append(self.predict(stage, features, fallback=fallback))
+        return costs
+
+    def state_tuple(self) -> tuple:
+        """Canonical fitted state, for determinism assertions."""
+        return tuple(
+            (stage, self.coefficients[stage]) for stage in sorted(self.coefficients)
+        )
+
+
+def rank_concordance(predicted, actual) -> float:
+    """Fraction of strictly ordered ``actual`` pairs that ``predicted``
+    orders the same way (a Kendall-style concordance in ``[0, 1]``).
+
+    This is the planner-relevant score: LPT packing consumes only the
+    *ordering* of the costs, so a cost model earns its keep exactly when it
+    ranks workloads better than the static hints did.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have one entry per row")
+    pairs = 0
+    concordant = 0
+    for i in range(len(actual)):
+        for j in range(i + 1, len(actual)):
+            if actual[i] == actual[j]:
+                continue
+            pairs += 1
+            if (predicted[i] - predicted[j]) * (actual[i] - actual[j]) > 0:
+                concordant += 1
+    return concordant / pairs if pairs else 1.0
+
+
+# ---------------------------------------------------------------------------
+# Trajectory ingestion (BENCH_<suite>.json)
+# ---------------------------------------------------------------------------
+
+
+def load_bench_samples(payload: dict) -> list:
+    """Extract :class:`CostSample` rows from one trajectory payload.
+
+    The benchmarks conftest publishes measured stage rows under
+    ``metrics.pipeline.stage_samples``; payloads without that channel (the
+    kernel or figure suites) contribute nothing.  Malformed rows are
+    skipped rather than fatal — trajectories are advisory history, and one
+    corrupt archive must not break planning.
+    """
+    metrics = payload.get("metrics") or {}
+    pipeline = metrics.get("pipeline") or {}
+    samples = []
+    for row in pipeline.get("stage_samples") or []:
+        try:
+            samples.append(
+                CostSample.make(
+                    row["stage"], dict(row.get("features") or {}), row["seconds"]
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    return samples
+
+
+def fit_from_bench_dir(directory: str) -> StageCostModel:
+    """Fit a model from every ``BENCH_*.json`` under ``directory``.
+
+    Files are read in sorted filename order and unreadable or non-JSON
+    files are skipped, so the fit is a deterministic function of the
+    directory's readable trajectory contents.  Returns an unfitted (pure
+    fallback) model when the directory holds no usable samples.
+    """
+    samples: list = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            samples.extend(load_bench_samples(payload))
+    model = StageCostModel()
+    if samples:
+        model.fit(samples)
+    return model
+
+
+def default_cost_model() -> StageCostModel:
+    """The environment-configured model: fitted from ``$REPRO_COST_DIR``'s
+    accumulated trajectories when that is set, otherwise unfitted (every
+    prediction falls back to the caller's static hint)."""
+    directory = repro_env.REPRO_COST_DIR.get()
+    if directory:
+        return fit_from_bench_dir(directory)
+    return StageCostModel()

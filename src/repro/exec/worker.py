@@ -56,7 +56,7 @@ import selectors
 import time
 import weakref
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.exec.transport import (
     LIFECYCLE_LOCK,
@@ -194,11 +194,20 @@ class HostRunReport:
     one_shot: bool = False
     #: Summed task seconds of first-accepted shard completions.
     accepted_seconds: float = 0.0
+    #: Per-shard wall seconds of first-accepted completions, as
+    #: ``(shard_index, seconds)`` in completion order — the measured-cost
+    #: feedback channel a cost model can fit against its predictions.
+    accepted_durations: list = field(default_factory=list)
 
 
 @dataclass
 class SchedulerView:
-    """Live dispatch state handed to a steal policy (read-only by contract)."""
+    """Live dispatch state handed to a steal policy (read-only by contract).
+
+    ``completed_durations`` holds ``(shard_index, wall seconds)`` per
+    first-accepted completion, so a policy can weigh (or exclude) specific
+    shards — e.g. store-hit shards whose near-zero durations would
+    otherwise corrupt a straggler baseline."""
 
     shard_by_index: dict
     completed: dict
@@ -488,7 +497,7 @@ class WorkerHost:
         selector = selectors.DefaultSelector()
         failure: "BaseException | None" = None
         dispatch_started: dict = {}  # (shard index, worker id) -> perf_counter
-        completed_durations: list = []  # wall seconds of accepted completions
+        completed_durations: list = []  # (shard index, wall seconds) accepted
         view = SchedulerView(
             shard_by_index=shard_by_index,
             completed=completed,
@@ -642,8 +651,12 @@ class WorkerHost:
                             completed[shard_index] = shard_results
                             report.accepted_seconds += float(elapsed)
                             if started is not None:
+                                duration = time.perf_counter() - started
                                 completed_durations.append(
-                                    time.perf_counter() - started
+                                    (shard_index, duration)
+                                )
+                                report.accepted_durations.append(
+                                    (shard_index, duration)
                                 )
                         daemon.shard = None
                         dispatch(daemon)

@@ -548,6 +548,84 @@ def render_chunks(backend, chunks, get_kernels, kernel_name):
         assert rule_ids(source, path=KERNELS_PATH) == []
 
 
+DAG_PATH = "src/repro/exec/dag.py"
+COSTMODEL_PATH = "src/repro/exec/costmodel.py"
+
+
+class TestDagAndCostModelFixtures:
+    """Golden-scope pins for the stage-DAG executor and the cost model.
+
+    Both modules carry determinism contracts (stable topological order,
+    reproducible fits), so both are pinned into the project-invariant
+    golden scope with known-bad/known-good fixtures."""
+
+    @pytest.mark.parametrize("path", [DAG_PATH, COSTMODEL_PATH])
+    def test_modules_are_golden_scope(self, path):
+        assert load_module(path, source="x = 1\n").in_golden_scope
+
+    def test_known_bad_dag_scheduler_is_flagged(self):
+        # Known-bad: a scheduler that times out on wall-clock (REP-D103)
+        # and dispatches by iterating a *set* of ready nodes (REP-D106) —
+        # exactly the shape that would break the DAG's deterministic
+        # heaviest-first order.
+        source = '''
+import time
+
+
+def run_ready(dag, artifacts):
+    deadline = time.time() + 30.0
+    for node in set(dag.nodes):
+        artifacts[node.name] = node.body(artifacts)
+    return deadline
+'''
+        assert rule_ids(source, path=DAG_PATH) == ["REP-D103", "REP-D106"]
+
+    def test_known_bad_cost_model_is_flagged(self):
+        # Known-bad: a fit memoised on salted hash() (REP-D101) and
+        # regularised with unseeded noise (REP-D104) — either one makes
+        # "same trajectories -> same shard plan" unreproducible.
+        source = '''
+import numpy as np
+
+
+def fit_with_jitter(rows):
+    cache_key = hash(tuple(rows))
+    noise = np.random.default_rng().normal(size=len(rows))
+    return cache_key, noise
+'''
+        assert rule_ids(source, path=COSTMODEL_PATH) == [
+            "REP-D101",
+            "REP-D104",
+        ]
+
+    def test_known_good_scheduler_and_fit_are_clean(self):
+        # Known-good: the shapes the real modules use — perf_counter for
+        # node timing, sorted iteration, closed-form least squares with no
+        # entropy at all.
+        source = '''
+import time
+
+import numpy as np
+
+
+def execute(node, artifacts):
+    started = time.perf_counter()
+    outputs = node.body(artifacts)
+    return outputs, time.perf_counter() - started
+
+
+def fit(features, seconds):
+    gram = features.T @ features + 1e-6 * np.eye(features.shape[1])
+    return np.linalg.solve(gram, features.T @ seconds)
+
+
+def stages(coefficients):
+    return sorted(coefficients)
+'''
+        assert rule_ids(source, path=DAG_PATH) == []
+        assert rule_ids(source, path=COSTMODEL_PATH) == []
+
+
 # ---------------------------------------------------------------------------
 # Engine-level behaviour shared by all rules
 # ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ import json
 import os
 import signal
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -33,6 +34,7 @@ from repro.exec import (
     resolve_backend,
     store_aware_costs,
 )
+from repro.exec.worker import SchedulerView, Shard
 from repro.utils.timing import StageTimer
 
 from tests._golden_driver import GOLDEN_DEVICE, golden_config, golden_dataset
@@ -330,3 +332,117 @@ class TestShardCountInvariance:
         )
         assert _report_record(second.run(golden_dataset())) == serial_record
         assert warm_store.recompute_by_kind().get("profile", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Steal policy
+# ---------------------------------------------------------------------------
+
+
+def _steal_view(durations, in_flight_index=6, runner=1, age=1.5):
+    """A :class:`SchedulerView` with one singly-dispatched in-flight shard
+    whose dispatch happened ``age`` seconds ago."""
+    now = time.perf_counter()
+    shard = Shard(index=in_flight_index, item_indices=(in_flight_index,), cost=1.0)
+    return SchedulerView(
+        shard_by_index={in_flight_index: shard},
+        completed={},
+        in_flight={in_flight_index: {runner}},
+        dispatch_started={(in_flight_index, runner): now - age},
+        completed_durations=list(durations),
+    )
+
+
+class TestStealPolicy:
+    """The straggler-duplication threshold (satellite fix).
+
+    The old policy thresholded on the *mean* of every completed duration,
+    so a store-warm run full of near-zero shard times dragged the baseline
+    down and duplicated every cold shard.  The fixed policy uses the
+    median of completions *excluding* store-hit shards."""
+
+    WARM_AND_COLD = [(i, 0.001) for i in range(5)] + [(5, 1.0)]
+    WARM_SHARDS = frozenset(range(5))
+
+    def test_warm_store_run_does_not_duplicate_cold_shards(self):
+        # Five warm completions (~1ms each) plus one genuine 1.0s cold
+        # completion; the in-flight cold shard has been running 1.5s.
+        # The old mean-of-everything baseline (~0.17s, threshold ~0.33s)
+        # would have stolen it; the median of non-warm completions (1.0s,
+        # threshold 2.0s) correctly leaves it alone.
+        view = _steal_view(self.WARM_AND_COLD, age=1.5)
+        assert (
+            ClusterBackend._steal_candidate(
+                view, worker_id=2, cheap_shards=self.WARM_SHARDS
+            )
+            is None
+        )
+
+    def test_warm_exclusion_is_load_bearing(self):
+        # Same view without the warm-shard exclusion: the median collapses
+        # to ~1ms and the shard is (wrongly) stolen — pinning that the
+        # exclusion, not the median alone, is what fixes the bug.
+        view = _steal_view(self.WARM_AND_COLD, age=1.5)
+        assert ClusterBackend._steal_candidate(view, worker_id=2) is not None
+
+    def test_genuine_straggler_is_still_stolen(self):
+        # Age 2.5s >= 2 x median(1.0s): a real straggler gets duplicated.
+        view = _steal_view([(0, 1.0), (1, 0.9), (2, 1.1)], age=2.5)
+        candidate = ClusterBackend._steal_candidate(view, worker_id=2)
+        assert candidate is not None and candidate.index == 6
+
+    def test_no_baseline_without_cold_completions(self):
+        # Every completion so far was a store hit: there is no honest
+        # duration baseline, so nothing is stolen no matter the age.
+        view = _steal_view([(0, 0.001), (1, 0.002)], age=100.0)
+        assert (
+            ClusterBackend._steal_candidate(
+                view, worker_id=2, cheap_shards=frozenset({0, 1})
+            )
+            is None
+        )
+
+    def test_model_prediction_raises_the_floor(self):
+        # Median 0.5s -> threshold 1.0s, so age 1.5s would steal; a cost
+        # model predicting the shard itself needs 1.0s lifts the floor to
+        # 2.0s and suppresses the duplicate.
+        durations = [(0, 0.5), (1, 0.5)]
+        view = _steal_view(durations, age=1.5)
+        assert (
+            ClusterBackend._steal_candidate(
+                view, worker_id=2, predicted_seconds={6: 1.0}
+            )
+            is None
+        )
+        assert (
+            ClusterBackend._steal_candidate(
+                view, worker_id=2, predicted_seconds={6: 0.1}
+            )
+            is not None
+        )
+
+    def test_never_steals_own_shard(self):
+        view = _steal_view([(0, 0.1)], runner=2, age=10.0)
+        assert ClusterBackend._steal_candidate(view, worker_id=2) is None
+
+    def test_never_duplicates_twice(self):
+        view = _steal_view([(0, 0.1)], age=10.0)
+        view.in_flight[6] = {1, 3}  # already running on two workers
+        assert ClusterBackend._steal_candidate(view, worker_id=2) is None
+
+
+@needs_fork
+class TestAcceptedDurationsFeedback:
+    def test_map_records_per_shard_durations(self):
+        # The cost-model feedback channel: after a map, the backend holds
+        # the (shard index, seconds) pairs of every first-accepted shard.
+        backend = ClusterBackend(workers=2)
+        backend.map(lambda x: x * x, list(range(8)))
+        assert backend.last_accepted_durations
+        indices = set()
+        for shard_index, seconds in backend.last_accepted_durations:
+            assert isinstance(shard_index, int) and seconds >= 0.0
+            indices.add(shard_index)
+        # Exactly one duration per planned shard, shard indices contiguous.
+        assert len(backend.last_accepted_durations) == len(indices)
+        assert indices == set(range(len(indices)))
