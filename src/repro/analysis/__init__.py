@@ -21,30 +21,47 @@ adding a rule.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from repro.analysis.callgraph import (
+    CallGraph,
+    build_call_graph,
+    concurrent_scope,
+    worker_shipped_scope,
+)
 from repro.analysis.engine import (
     AnalysisResult,
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
+    Waiver,
     analyze_module,
     analyze_paths,
     iter_python_files,
     load_module,
 )
 from repro.analysis.rules import DEFAULT_RULES, all_rules
+from repro.analysis.sanitize import Sanitizer, sanitize_report
 
 __all__ = [
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "DEFAULT_BASELINE_NAME",
     "DEFAULT_RULES",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "Sanitizer",
+    "Waiver",
     "all_rules",
     "analyze_module",
     "analyze_paths",
+    "build_call_graph",
+    "concurrent_scope",
     "iter_python_files",
     "load_module",
+    "sanitize_report",
+    "worker_shipped_scope",
 ]

@@ -7,6 +7,7 @@ Usage::
     python -m repro.analysis --write-baseline  # accept current findings
     python -m repro.analysis --env-table       # print the env-var reference table
     python -m repro.analysis --list-rules      # print the rule catalog
+    python -m repro.analysis --waivers ...     # audit every inline waiver
 
 Exit status: 0 when every finding is baselined or inline-allowed, 1 when
 any new finding exists, 2 on usage errors.  CI's ``lint`` job runs the
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--waivers", action="store_true",
+        help="audit every inline '# repro-analysis: allow=...' waiver: "
+        "location, waived rules, suppression count and reason",
+    )
     return parser
 
 
@@ -81,6 +87,18 @@ def main(argv=None) -> int:
         return 2
 
     result = analyze_paths(args.paths, rules, baseline=baseline)
+
+    if args.waivers:
+        for waiver in sorted(result.waivers, key=lambda w: (w.path, w.line)):
+            rule_list = ",".join(sorted(waiver.rules))
+            reason = waiver.reason or "(no reason given)"
+            print(
+                f"{waiver.path}:{waiver.line}: allow={rule_list} "
+                f"suppresses {waiver.suppressed} finding(s) — {reason}"
+            )
+        print(f"{len(result.waivers)} active waiver(s) "
+              f"({result.files_checked} files checked)")
+        return 0
 
     if args.write_baseline:
         updated = Baseline.from_findings(

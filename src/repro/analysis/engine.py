@@ -51,10 +51,11 @@ GOLDEN_PACKAGES = (
     ("repro", "exec", "costmodel.py"),
 )
 
-#: Inline suppression: ``# repro-analysis: allow=REP-D101 reason...`` or
-#: ``allow=REP-D101,REP-E401``.  Trailing comments waive the same line; a
-#: comment-only line waives the line that follows it.
-_ALLOW_RE = re.compile(r"#\s*repro-analysis:\s*allow=([A-Z0-9,\-]+)")
+#: Inline suppression: a comment *starting* with the directive — trailing
+#: comments waive the same line; a comment-only line waives the line that
+#: follows it.  Anchored so prose merely quoting the syntax (like this
+#: doc comment) is not parsed as a live waiver.
+_ALLOW_RE = re.compile(r"^#\s*repro-analysis:\s*allow=([A-Z0-9,\-]+)\s*(.*)")
 
 
 @dataclass(frozen=True, order=True)
@@ -112,6 +113,41 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """One invariant checked over the *whole* module set at once.
+
+    Interprocedural rules (the REP-F2xx reachability family, REP-G5xx)
+    need every parsed module — a hazard one call deep in another file is
+    invisible per module.  Subclasses implement :meth:`check_project`
+    over the full context list; :meth:`check` is a no-op so a project
+    rule is harmless when handed to the per-module driver.
+    """
+
+    def check(self, module: "ModuleContext"):
+        return ()
+
+    def check_project(self, modules):
+        raise NotImplementedError
+
+
+@dataclass
+class Waiver:
+    """One inline ``# repro-analysis: allow=...`` comment.
+
+    ``covered_lines`` holds every line the comment waives (its own line,
+    plus the following line for comment-only lines); ``suppressed`` counts
+    the findings it actually absorbed in the current run — a waiver that
+    suppresses nothing is stale (rule ``REP-W001``).
+    """
+
+    path: str
+    line: int
+    rules: frozenset
+    covered_lines: tuple
+    reason: str = ""
+    suppressed: int = 0
+
+
 @dataclass
 class ModuleContext:
     """One parsed module plus the location facts rules key on."""
@@ -121,6 +157,8 @@ class ModuleContext:
     tree: ast.Module
     #: line number -> set of rule ids waived by an inline allow comment
     allows: dict = field(default_factory=dict)
+    #: the :class:`Waiver` records behind ``allows``, in source order
+    waivers: list = field(default_factory=list)
 
     @property
     def parts(self) -> tuple:
@@ -146,12 +184,20 @@ class ModuleContext:
         return self._has_package(("repro", "config")) and self.parts[-1] == "env.py"
 
     def allowed(self, finding: Finding) -> bool:
-        return finding.rule in self.allows.get(finding.line, ())
+        """Whether an inline allow waives ``finding`` — and, if so, credit
+        the covering waiver(s) so stale-waiver detection sees the use."""
+        if finding.rule not in self.allows.get(finding.line, ()):
+            return False
+        for waiver in self.waivers:
+            if finding.line in waiver.covered_lines and finding.rule in waiver.rules:
+                waiver.suppressed += 1
+        return True
 
 
-def _parse_allows(source: str) -> dict:
-    """Map line number -> rule ids waived by inline allow comments."""
+def _parse_allows(path: str, source: str) -> tuple:
+    """``(line -> waived rule ids, [Waiver, ...])`` for one module source."""
     allows: dict = {}
+    waivers: list = []
     lines = source.splitlines()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -163,15 +209,24 @@ def _parse_allows(source: str) -> dict:
                 continue
             rules = {r for r in match.group(1).split(",") if r}
             line = token.start[0]
+            covered = [line]
             allows.setdefault(line, set()).update(rules)
             # A comment-only line waives the statement below it (multi-line
             # allow blocks chain naturally: each line waives the next).
             prefix = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
             if not prefix.strip():
                 allows.setdefault(line + 1, set()).update(rules)
+                covered.append(line + 1)
+            waivers.append(Waiver(
+                path=path,
+                line=line,
+                rules=frozenset(rules),
+                covered_lines=tuple(covered),
+                reason=match.group(2).strip(),
+            ))
     except tokenize.TokenizeError:  # pragma: no cover - unparseable comments
         pass
-    return allows
+    return allows, waivers
 
 
 def load_module(path: str, source: "str | None" = None) -> "ModuleContext | None":
@@ -188,11 +243,14 @@ def load_module(path: str, source: "str | None" = None) -> "ModuleContext | None
         tree = ast.parse(source)
     except SyntaxError:
         return None
+    normalised = path.replace(os.sep, "/")
+    allows, waivers = _parse_allows(normalised, source)
     return ModuleContext(
-        path=path.replace(os.sep, "/"),
+        path=normalised,
         source=source,
         tree=tree,
-        allows=_parse_allows(source),
+        allows=allows,
+        waivers=waivers,
     )
 
 
@@ -223,6 +281,9 @@ class AnalysisResult:
     findings: list = field(default_factory=list)  # gating (new) findings
     baselined: list = field(default_factory=list)  # matched baseline entries
     files_checked: int = 0
+    #: every inline :class:`Waiver` seen, in (path, line) order, with its
+    #: post-run suppression count (the ``--waivers`` audit reads this)
+    waivers: list = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -262,6 +323,11 @@ def analyze_module(module: ModuleContext, rules) -> list:
 def analyze_paths(paths, rules, baseline=None) -> AnalysisResult:
     """Lint every Python file under ``paths`` with ``rules``.
 
+    Per-module rules run first over each file; :class:`ProjectRule`
+    instances then run once over the whole module set (in catalog order,
+    so a rule that keys on the suppression stats of the others — the
+    stale-waiver audit — lists itself last).
+
     Args:
         paths: files and/or directories.
         rules: rule instances to run.
@@ -269,16 +335,34 @@ def analyze_paths(paths, rules, baseline=None) -> AnalysisResult:
             matched findings are reported separately and do not gate.
     """
     result = AnalysisResult()
+    module_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+
+    modules = []
     for file_path in iter_python_files(paths):
         module = load_module(file_path)
         if module is None:
             continue
-        result.files_checked += 1
-        for finding in analyze_module(module, rules):
-            if baseline is not None and baseline.matches(finding):
-                result.baselined.append(finding)
-            else:
-                result.findings.append(finding)
+        modules.append(module)
+    result.files_checked = len(modules)
+
+    def admit(finding):
+        if baseline is not None and baseline.matches(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    for module in modules:
+        for finding in analyze_module(module, module_rules):
+            admit(finding)
+    by_path = {module.path: module for module in modules}
+    for rule in project_rules:
+        for finding in sorted(rule.check_project(modules)):
+            module = by_path.get(finding.path)
+            if module is None or not module.allowed(finding):
+                admit(finding)
+    for module in modules:
+        result.waivers.extend(module.waivers)
     result.findings.sort()
     result.baselined.sort()
     return result

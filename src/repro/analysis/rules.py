@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.engine import Rule
+from repro.analysis.engine import Finding, ProjectRule, Rule
 
 
 # ---------------------------------------------------------------------------
@@ -353,12 +353,16 @@ class SetIterationRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Constructors whose results must never be captured by a callable shipped
-#: to a worker: value kind -> dotted call names.
+#: to a worker: value kind -> dotted call names.  The ``make_lock`` /
+#: ``make_rlock`` seams of :mod:`repro.analysis.sanitize` construct (and
+#: possibly wrap) real locks, so they count as lock constructors here and
+#: in the REP-L3xx family.
 _UNPICKLABLE_CONSTRUCTORS = {
     "lock": {
         "threading.Lock", "threading.RLock", "threading.Condition",
         "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
-        "Lock", "RLock",
+        "Lock", "RLock", "make_lock", "make_rlock",
+        "sanitize.make_lock", "sanitize.make_rlock",
     },
     "open file": {"open", "io.open", "tempfile.NamedTemporaryFile",
                   "tempfile.TemporaryFile", "gzip.open"},
@@ -523,7 +527,8 @@ class ThreadInForkingModuleRule(Rule):
 
 _LOCK_CONSTRUCTORS = {
     "threading.Lock", "threading.RLock", "Lock", "RLock",
-    "threading.Condition",
+    "threading.Condition", "make_lock", "make_rlock",
+    "sanitize.make_lock", "sanitize.make_rlock",
 }
 
 #: Mutating methods of the plain containers a lock-owning class shares.
@@ -736,6 +741,284 @@ class RawEnvironRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# Interprocedural rules — REP-F2xx reachability and REP-G5xx global state
+# ---------------------------------------------------------------------------
+
+#: One call-graph build per module set: every project rule in one
+#: ``analyze_paths`` run receives the same context list, so the graph is
+#: memoised on the sources (single-entry — runs over different trees
+#: replace it).
+_GRAPH_CACHE: dict = {}
+
+
+def _graph_for(modules):
+    from repro.analysis import callgraph
+
+    key = tuple((module.path, module.source) for module in modules)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE.clear()
+        _GRAPH_CACHE[key] = callgraph.build_call_graph(modules)
+    return _GRAPH_CACHE[key]
+
+
+def _own_body_nodes(func_node):
+    """The nodes of one function's own body, excluding nested functions
+    and lambdas (those are separate functions with their own scope entry,
+    so hazards inside them are reported exactly once, there)."""
+    stack = list(func_node.body) if isinstance(func_node.body, list) else [func_node.body]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                stack.append(child)
+
+
+class _ReachabilityRule(ProjectRule):
+    """Shared driver: compute a scope over the call graph, then run
+    :meth:`check_function` on every function inside it, attaching the
+    witness chain that makes the function reachable."""
+
+    def scope(self, graph) -> dict:
+        raise NotImplementedError
+
+    def check_function(self, info, chain):
+        raise NotImplementedError
+
+    def check_project(self, modules):
+        from repro.analysis.callgraph import format_chain
+
+        graph = _graph_for(modules)
+        for qualname, chain in sorted(self.scope(graph).items()):
+            info = graph.index.functions[qualname]
+            for node, message in self.check_function(info, chain):
+                via = (
+                    " (shipped entry point)" if len(chain) == 1
+                    else f" (reachable via {format_chain(chain)})"
+                )
+                yield self.finding(info.module, node, message + via)
+
+
+class ReachableImpurityRule(_ReachabilityRule):
+    """Wall-clock reads, unseeded RNG draws and raw environment reads
+    anywhere in the transitive closure of a worker-shipped callable.  The
+    lexical REP-D1xx/E4xx rules scope to golden modules and single files;
+    a shipped task must be a pure function of its item *through every
+    helper it calls*, or shards stop being bit-identical across worker
+    counts and transports."""
+
+    rule_id = "REP-F203"
+    title = "impurity reachable from a worker-shipped callable"
+    severity = "error"
+
+    def scope(self, graph):
+        from repro.analysis.callgraph import worker_shipped_scope
+
+        return worker_shipped_scope(graph)
+
+    def check_function(self, info, chain):
+        for node in _own_body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    yield node, (
+                        f"{name}() reads the wall clock inside the "
+                        "worker-shipped scope; shipped tasks must be pure "
+                        "functions of their item"
+                    )
+                    continue
+                parts = (name or "").split(".")
+                if name and parts[0] == "random" and len(parts) == 2:
+                    yield node, (
+                        f"stdlib {name}() draws global-state randomness "
+                        "inside the worker-shipped scope; thread a seeded "
+                        "Generator through the task item"
+                    )
+                elif (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _NP_RANDOM_ALLOWED
+                ):
+                    yield node, (
+                        f"{name}() uses numpy's legacy global RNG inside "
+                        "the worker-shipped scope; every worker would draw "
+                        "an independent, unseeded stream"
+                    )
+                elif (
+                    parts and parts[-1] == "default_rng"
+                    and not node.args and not node.keywords
+                ):
+                    yield node, (
+                        "default_rng() without a seed inside the "
+                        "worker-shipped scope draws fresh OS entropy per "
+                        "shard; derive per-item streams with shard_rng"
+                    )
+                elif name in RawEnvironRule._READ_CALLS and not info.module.is_env_registry:
+                    yield node, (
+                        f"{name}() reads the environment inside the "
+                        "worker-shipped scope; workers inherit (or miss) "
+                        "env mutations invisibly — read the typed registry "
+                        "before shipping and pass values through the item"
+                    )
+            elif (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and dotted_name(node.value) == "os.environ"
+                and not info.module.is_env_registry
+            ):
+                yield node, (
+                    "os.environ[...] read inside the worker-shipped scope; "
+                    "workers inherit (or miss) env mutations invisibly — "
+                    "read the typed registry before shipping"
+                )
+
+
+#: File-handle constructors whose acquisition inside a forked worker body
+#: is a finding (the handle is created in the child, the descriptor/lock
+#: state never propagates back, and two shards may race the same path).
+_FILE_HANDLE_CALLS = {
+    "open", "io.open", "gzip.open", "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+}
+
+
+class ReachableLockRule(_ReachabilityRule):
+    """Lock construction, explicit ``.acquire()`` and file-handle opens in
+    the transitive closure of a forked worker body.  A lock taken in a
+    forked child synchronises nothing (the parent's threads aren't
+    there), and a lock *inherited* locked is a deadlock; file handles
+    opened per shard race each other on shared paths."""
+
+    rule_id = "REP-F204"
+    title = "lock / file-handle acquisition reachable from a forked worker body"
+    severity = "error"
+
+    def scope(self, graph):
+        from repro.analysis.callgraph import worker_shipped_scope
+
+        return worker_shipped_scope(graph)
+
+    def check_function(self, info, chain):
+        for node in _own_body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _UNPICKLABLE_CONSTRUCTORS["lock"]:
+                yield node, (
+                    f"{name}() constructs a lock inside the forked-worker "
+                    "scope; it synchronises nothing across shards — hoist "
+                    "shared state out of the shipped task"
+                )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+                yield node, (
+                    f"explicit {dotted_name(node.func)}() inside the "
+                    "forked-worker scope; a lock acquired in a forked child "
+                    "guards nothing in the parent and can inherit a locked "
+                    "state it can never release"
+                )
+            elif name in _FILE_HANDLE_CALLS:
+                yield node, (
+                    f"{name}() opens a file handle inside the forked-worker "
+                    "scope; per-shard handles race on shared paths — return "
+                    "data and let the parent persist it"
+                )
+
+
+class ConcurrentGlobalStateRule(_ReachabilityRule):
+    """Mutation of process-global library state reachable from code that
+    runs concurrently (thread-backend tasks and stage-DAG node bodies).
+    This is exactly the PR 8 ``QualityModel.fit`` race: a
+    ``simplefilter("error", ...)`` probe in one fit flips the warning
+    filters under every concurrent fit.  ``"ignore"``-action filter calls
+    are exempt — widening an ignore is idempotent and an overlapping
+    restore cannot un-suppress an exception path."""
+
+    rule_id = "REP-G501"
+    title = "process-global state mutated in concurrently-running code"
+    severity = "error"
+
+    _FILTER_CALLS = {"warnings.simplefilter", "warnings.filterwarnings"}
+    _ALWAYS_MUTATORS = {
+        "np.seterr", "numpy.seterr", "random.seed", "np.random.seed",
+        "numpy.random.seed", "os.putenv",
+    }
+
+    def scope(self, graph):
+        from repro.analysis.callgraph import concurrent_scope
+
+        return concurrent_scope(graph)
+
+    def check_function(self, info, chain):
+        for node in _own_body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self._FILTER_CALLS:
+                    if literal_arg(node) == "ignore":
+                        continue
+                    yield node, (
+                        f"{name}(...) mutates the process-wide warning "
+                        "filters in concurrently-running code — the PR 8 "
+                        "QualityModel race; read the outcome from data "
+                        "(e.g. pcov finiteness) under an 'ignore' filter "
+                        "instead of probing via 'error'"
+                    )
+                elif name in self._ALWAYS_MUTATORS:
+                    yield node, (
+                        f"{name}(...) mutates process-global state in "
+                        "concurrently-running code; every in-flight task "
+                        "sees the flip mid-computation"
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and dotted_name(target.value) == "os.environ"
+                    ):
+                        yield target, (
+                            "os.environ[...] assignment in "
+                            "concurrently-running code mutates process-global "
+                            "state under every in-flight task"
+                        )
+
+
+# ---------------------------------------------------------------------------
+# REP-W0xx — waiver hygiene
+# ---------------------------------------------------------------------------
+
+class StaleWaiverRule(ProjectRule):
+    """An inline ``# repro-analysis: allow=...`` that suppresses zero
+    findings.  Dead waivers are worse than dead code: they pre-authorise a
+    future bug at that line.  Runs last in the catalog, after every other
+    rule has credited the waivers it used (see
+    :func:`repro.analysis.engine.analyze_paths`)."""
+
+    rule_id = "REP-W001"
+    title = "stale inline waiver suppresses no finding"
+    severity = "warning"
+
+    def check_project(self, modules):
+        for module in modules:
+            for waiver in module.waivers:
+                if waiver.suppressed:
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=waiver.line,
+                    col=1,
+                    rule=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        "inline waiver for "
+                        f"{', '.join(sorted(waiver.rules))} suppresses no "
+                        "finding; the code it excused is gone — delete the "
+                        "comment (or fix the rule list)"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
 # The default catalog
 # ---------------------------------------------------------------------------
 
@@ -748,8 +1031,14 @@ DEFAULT_RULES = (
     SetIterationRule(),
     WorkerClosureRule(),
     ThreadInForkingModuleRule(),
+    ReachableImpurityRule(),
+    ReachableLockRule(),
     LockDisciplineRule(),
     RawEnvironRule(),
+    ConcurrentGlobalStateRule(),
+    # Last on purpose: it reads the suppression stats every other rule
+    # left on the module contexts.
+    StaleWaiverRule(),
 )
 
 

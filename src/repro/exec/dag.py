@@ -42,6 +42,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from repro.analysis.sanitize import task_span
+
 
 class DagValidationError(ValueError):
     """The graph violates the node/edge contract (duplicate producer,
@@ -187,7 +189,10 @@ def _execute_node(node: DagNode, artifacts: dict) -> tuple:
     """Run one node body; return ``(outputs dict, elapsed seconds)``."""
     inputs = {name: artifacts[name] for name in node.inputs}
     started = time.perf_counter()
-    produced = node.body(inputs)
+    # task_span: the concurrency sanitizer counts this body as in flight
+    # (a no-op context manager unless REPRO_SANITIZE is set).
+    with task_span():
+        produced = node.body(inputs)
     elapsed = time.perf_counter() - started
     expected = tuple(node.outputs)
     if isinstance(produced, dict) and sorted(produced) == sorted(expected):

@@ -58,6 +58,7 @@ import weakref
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis.sanitize import map_boundary
 from repro.exec.transport import (
     LIFECYCLE_LOCK,
     _IMAGE_ITEMS,
@@ -433,7 +434,9 @@ class WorkerHost:
         # must stay stable while any daemon can be (re)spawned, and a
         # persistent fleet must never run two maps at once.  Parallelism
         # comes from the daemons inside one map, not from overlapping maps.
-        with LIFECYCLE_LOCK:
+        # map_boundary: the sanitizer flags callers that arrive here holding
+        # an instrumented lock (the map blocks on daemons; no-op when off).
+        with map_boundary(f"WorkerHost.run:{self.transport.name}"), LIFECYCLE_LOCK:
             self.maps += 1
             if items_payload_ok:
                 self._ensure_task(fn, report)

@@ -10,8 +10,9 @@ their own hit/miss statistics on top; compound operations take
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
+
+from repro.analysis.sanitize import make_rlock
 
 #: Sentinel distinguishing "stored None" from "absent" in :meth:`LockedLRU.get`.
 MISS = object()
@@ -29,7 +30,9 @@ class LockedLRU:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None)")
         self.max_entries = max_entries
-        self.lock = threading.RLock()
+        # The sanitizer seam: a plain RLock normally, a recording wrapper
+        # under REPRO_SANITIZE=1 (see repro.analysis.sanitize).
+        self.lock = make_rlock("LockedLRU")
         self._store: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:

@@ -240,3 +240,141 @@ class TestRepositoryGate:
         monkeypatch.chdir(tmp_path)
         assert main(["src"]) == 0
         assert "0 new finding(s)" in capsys.readouterr().out
+
+
+#: Known-bad interprocedural fixtures: each must fail the CLI gate with
+#: its rule, including the pre-fix PR 8 profiler shape.
+INTERPROCEDURAL_FIXTURES = {
+    "shipped-wall-clock": (
+        "src/repro/exec/bad_reach.py",
+        "import time\n"
+        "def helper():\n"
+        "    return time.time()\n"
+        "def task(item):\n"
+        "    return helper()\n"
+        "def run(backend, items):\n"
+        "    return backend.map(task, items)\n",
+        "REP-F203",
+    ),
+    "shipped-lock": (
+        "src/repro/exec/bad_lock_reach.py",
+        "import threading\n"
+        "def helper():\n"
+        "    return threading.Lock()\n"
+        "def task(item):\n"
+        "    return helper()\n"
+        "def run(backend, items):\n"
+        "    return backend.map(task, items)\n",
+        "REP-F204",
+    ),
+    "pre-fix-profiler-race": (
+        # The pre-PR-8 profiler: a DagNode body reaching a fit that probes
+        # convergence via simplefilter("error", ...) — the QualityModel race.
+        "src/repro/core/bad_profiler.py",
+        "import warnings\n"
+        "def fit(configs, qualities):\n"
+        "    with warnings.catch_warnings():\n"
+        "        warnings.simplefilter('error')\n"
+        "        return configs\n"
+        "def _fit_body(inputs):\n"
+        "    return fit(inputs['configs'], inputs['qualities'])\n"
+        "def build(DagNode, scene):\n"
+        "    return DagNode('profile', 'profile', scene, body=_fit_body)\n",
+        "REP-G501",
+    ),
+    "stale-waiver": (
+        "src/repro/core/bad_waiver.py",
+        "# repro-analysis: allow=REP-D101 nothing here hashes any more\n"
+        "VALUE = 1\n",
+        "REP-W001",
+    ),
+}
+
+
+class TestInterproceduralGate:
+    @pytest.mark.parametrize("name", sorted(INTERPROCEDURAL_FIXTURES))
+    def test_known_bad_fixture_fails_the_gate(self, tmp_path, name):
+        rel_path, source, expected_rule = INTERPROCEDURAL_FIXTURES[name]
+        write_module(tmp_path, rel_path, source)
+        result = run_cli(["src"], cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert expected_rule in result.stdout
+        assert rel_path.replace(os.sep, "/") in result.stdout
+
+    def test_reachability_finding_prints_the_witness_chain(self, tmp_path):
+        rel_path, source, _ = INTERPROCEDURAL_FIXTURES["shipped-wall-clock"]
+        write_module(tmp_path, rel_path, source)
+        result = run_cli(["src"], cwd=tmp_path)
+        assert "reachable via task -> helper" in result.stdout
+
+
+class TestWaiversAudit:
+    WAIVED = (
+        "import os\n"
+        "def intake():\n"
+        "    # repro-analysis: allow=REP-E401 boot probe, registry not importable yet\n"
+        "    return os.environ.get('REPRO_BOOT')\n"
+    )
+
+    def test_waivers_lists_location_rules_count_and_reason(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/waived.py", self.WAIVED)
+        result = run_cli(["--waivers", "src"], cwd=tmp_path)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "src/repro/core/waived.py:3" in result.stdout
+        assert "allow=REP-E401" in result.stdout
+        assert "suppresses 1 finding(s)" in result.stdout
+        assert "boot probe, registry not importable yet" in result.stdout
+        assert "1 active waiver(s)" in result.stdout
+
+    def test_stale_waiver_audits_with_zero_count(self, tmp_path):
+        write_module(
+            tmp_path, "src/repro/core/stale.py",
+            "# repro-analysis: allow=REP-D101 long gone\nVALUE = 1\n",
+        )
+        result = run_cli(["--waivers", "src"], cwd=tmp_path)
+        assert result.returncode == 0
+        assert "suppresses 0 finding(s)" in result.stdout
+        assert "long gone" in result.stdout
+
+    def test_missing_reason_is_called_out(self, tmp_path):
+        write_module(
+            tmp_path, "src/repro/core/bare.py",
+            "x = 1  # repro-analysis: allow=REP-D102\n",
+        )
+        result = run_cli(["--waivers", "src"], cwd=tmp_path)
+        assert "(no reason given)" in result.stdout
+
+    def test_repo_waivers_all_carry_reasons_and_suppress(self):
+        # The repository's own waivers must stay justified and live.
+        result = analyze_paths(
+            [os.path.join(REPO_ROOT, d) for d in ("src", "tests", "benchmarks")],
+            all_rules(),
+        )
+        for waiver in result.waivers:
+            assert waiver.reason, f"{waiver.path}:{waiver.line} has no reason"
+            assert waiver.suppressed > 0, (
+                f"{waiver.path}:{waiver.line} suppresses nothing"
+            )
+
+
+class TestJsonStability:
+    def test_repeated_runs_are_byte_identical(self, tmp_path):
+        # The CI artifact contract: two runs over the same tree produce
+        # byte-identical --json output (sorted traversal, deterministic
+        # finding order, no timestamps or absolute paths).
+        for name in ("shipped-wall-clock", "pre-fix-profiler-race", "stale-waiver"):
+            rel_path, source, _ = INTERPROCEDURAL_FIXTURES[name]
+            write_module(tmp_path, rel_path, source)
+        write_module(tmp_path, "src/repro/core/good.py", "VALUE = 1\n")
+
+        def run_bytes():
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+            return subprocess.run(
+                [sys.executable, "-m", "repro.analysis", "--json", "src"],
+                cwd=tmp_path, env=env, capture_output=True, timeout=120,
+            ).stdout
+
+        first, second = run_bytes(), run_bytes()
+        assert first
+        assert first == second

@@ -1,0 +1,353 @@
+"""Tests of the runtime concurrency sanitizer (`repro.analysis.sanitize`).
+
+Every deliberate finding is produced on a *private* :class:`Sanitizer`
+instance, so nothing here pollutes the process-wide report when the
+whole tier runs under ``REPRO_SANITIZE=1`` (the CI ``sanitize`` leg
+fails on any global finding).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizedLock, Sanitizer
+
+
+def kinds(sanitizer: Sanitizer) -> list:
+    return [entry["kind"] for entry in sanitizer.findings]
+
+
+class TestLockOrderCycle:
+    def test_opposite_order_two_lock_shape_is_reported(self):
+        # The canonical deadlock shape, run to completion: thread one
+        # takes A then B, thread two takes B then A.  Events sequence the
+        # threads so the deadly interleaving cannot actually fire — the
+        # detector must flag the *order cycle*, not a lucky hang.
+        sanitizer = Sanitizer(name="test")
+        lock_a = sanitizer.make_lock("A")
+        lock_b = sanitizer.make_lock("B")
+        first_done = threading.Event()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+            first_done.set()
+
+        def backward():
+            first_done.wait(timeout=10)
+            with lock_b:
+                with lock_a:
+                    pass
+
+        threads = [threading.Thread(target=forward),
+                   threading.Thread(target=backward)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert kinds(sanitizer) == ["lock-order-cycle"]
+        finding = sanitizer.findings[0]
+        assert finding["locks"] == ["A", "B"]
+        assert "deadlock" in finding["detail"]
+
+    def test_consistent_order_is_clean(self):
+        sanitizer = Sanitizer(name="test")
+        lock_a = sanitizer.make_lock("A")
+        lock_b = sanitizer.make_lock("B")
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert sanitizer.findings == []
+
+    def test_three_lock_cycle_is_reported(self):
+        # A -> B, B -> C, C -> A: no two-lock inversion, still a cycle.
+        sanitizer = Sanitizer(name="test")
+        locks = {name: sanitizer.make_lock(name) for name in "ABC"}
+        for first, second in [("A", "B"), ("B", "C"), ("C", "A")]:
+            with locks[first]:
+                with locks[second]:
+                    pass
+        assert kinds(sanitizer) == ["lock-order-cycle"]
+        assert sanitizer.findings[0]["locks"] == ["A", "B", "C"]
+
+    def test_reentrant_acquisition_adds_no_self_edge(self):
+        sanitizer = Sanitizer(name="test")
+        rlock = sanitizer.make_rlock("R")
+        with rlock:
+            with rlock:
+                pass
+        assert sanitizer.findings == []
+        assert sanitizer.report()["edges"] == 0
+
+
+class TestMapBoundary:
+    def test_entering_boundary_while_holding_lock_is_reported(self):
+        sanitizer = Sanitizer(name="test")
+        lock = sanitizer.make_lock("cache")
+        with lock:
+            with sanitizer.map_boundary("ThreadBackend.map:profile"):
+                pass
+        assert kinds(sanitizer) == ["lock-across-map"]
+        assert "'cache'" in sanitizer.findings[0]["detail"]
+
+    def test_pre_boundary_lock_held_at_inner_acquire_is_reported(self):
+        sanitizer = Sanitizer(name="test")
+        outer = sanitizer.make_lock("outer")
+        inner = sanitizer.make_lock("inner")
+        with outer:
+            with sanitizer.map_boundary("map"):
+                with inner:
+                    pass
+        assert "lock-across-map" in kinds(sanitizer)
+
+    def test_locks_scoped_inside_the_boundary_are_clean(self):
+        sanitizer = Sanitizer(name="test")
+        inner = sanitizer.make_lock("inner")
+        with sanitizer.map_boundary("map"):
+            with inner:
+                pass
+        assert sanitizer.findings == []
+
+    def test_lock_after_boundary_exit_is_clean(self):
+        sanitizer = Sanitizer(name="test")
+        lock = sanitizer.make_lock("later")
+        with sanitizer.map_boundary("map"):
+            pass
+        with lock:
+            pass
+        assert sanitizer.findings == []
+
+
+class TestGlobalStateWatch:
+    def run_in_spans(self, sanitizer, body_one, body_two):
+        """Run two bodies on two threads, both inside task spans, with the
+        second thread's body sequenced after the first thread has entered
+        its span (so two tasks are genuinely in flight)."""
+        one_in_span = threading.Event()
+        one_may_exit = threading.Event()
+        errors = []
+
+        def first():
+            try:
+                with sanitizer.task_span():
+                    one_in_span.set()
+                    body_one()
+                    one_may_exit.wait(timeout=10)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        def second():
+            try:
+                one_in_span.wait(timeout=10)
+                with sanitizer.task_span():
+                    body_two()
+                one_may_exit.set()
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+            finally:
+                one_may_exit.set()
+
+        threads = [threading.Thread(target=first),
+                   threading.Thread(target=second)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+
+    def test_pr8_quality_model_race_shape_is_reported(self):
+        # The PR 8 regression, reconstructed at runtime: two concurrent
+        # fits probing convergence by flipping the process-wide warning
+        # filters to "error" inside catch_warnings blocks.
+        sanitizer = Sanitizer(name="test")
+
+        def racy_fit():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+
+        with sanitizer.watch():
+            self.run_in_spans(sanitizer, racy_fit, racy_fit)
+        assert "global-state-mutation" in kinds(sanitizer)
+        finding = next(entry for entry in sanitizer.findings
+                       if entry["kind"] == "global-state-mutation")
+        assert finding["mutator"] == "warnings.simplefilter"
+
+    def test_fixed_quality_model_fit_runs_clean_concurrently(self):
+        # The *fixed* production code: QualityModel.fit suppresses
+        # OptimizeWarning with an idempotent "ignore" filter and reads
+        # convergence from pcov finiteness.  Two concurrent fits under
+        # the watchers must produce zero findings.
+        from repro.core.config_space import ConfigurationSpace
+        from repro.core.profiler import QualityModel
+
+        space = ConfigurationSpace()
+        configs = list(space.profiling_configs())
+        qualities = np.array(
+            [0.96 - 14.0 / ((c.granularity + 10.0) * (c.patch_size + 1.5))
+             for c in configs]
+        )
+        sanitizer = Sanitizer(name="test")
+
+        def fit():
+            QualityModel.fit(configs, qualities)
+
+        with sanitizer.watch():
+            self.run_in_spans(sanitizer, fit, fit)
+        assert sanitizer.findings == []
+
+    def test_single_task_in_flight_is_clean(self):
+        # One in-flight task owns the process; mutating global state is
+        # only a race once a second task can observe the flip.
+        sanitizer = Sanitizer(name="test")
+        with sanitizer.watch():
+            with sanitizer.task_span():
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error", RuntimeWarning)
+        assert sanitizer.findings == []
+
+    def test_ignore_action_is_exempt_concurrently(self):
+        sanitizer = Sanitizer(name="test")
+
+        def quiet():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+
+        with sanitizer.watch():
+            self.run_in_spans(sanitizer, quiet, quiet)
+        assert sanitizer.findings == []
+
+    def test_seterr_with_two_in_flight_is_reported(self):
+        sanitizer = Sanitizer(name="test")
+
+        def flip():
+            saved = np.seterr(all="ignore")
+            np.seterr(**saved)
+
+        with sanitizer.watch():
+            self.run_in_spans(sanitizer, flip, flip)
+        assert "global-state-mutation" in kinds(sanitizer)
+
+    def test_watchers_restore_originals(self):
+        original = warnings.simplefilter
+        sanitizer = Sanitizer(name="test")
+        with sanitizer.watch():
+            assert warnings.simplefilter is not original
+        assert warnings.simplefilter is original
+
+
+class TestSeams:
+    def test_seams_are_noops_when_uninstalled(self, monkeypatch):
+        monkeypatch.setattr(sanitize, "_GLOBAL", None)
+        assert not sanitize.enabled()
+        assert isinstance(sanitize.make_lock("x"), type(threading.Lock()))
+        assert sanitize.task_span() is sanitize._NULL_SPAN
+        assert sanitize.map_boundary("m") is sanitize._NULL_SPAN
+        assert sanitize.sanitize_report() == {"enabled": False, "findings": []}
+
+    def test_seams_route_to_the_installed_sanitizer(self, monkeypatch):
+        private = Sanitizer(name="routed")
+        monkeypatch.setattr(sanitize, "_GLOBAL", private)
+        lock = sanitize.make_lock("x")
+        assert isinstance(lock, SanitizedLock)
+        assert sanitize.sanitize_report()["name"] == "routed"
+
+    def test_thread_backend_map_crosses_the_boundary_seam(self, monkeypatch):
+        # Integration: holding a sanitized lock across a real
+        # ThreadBackend.map is detected through the production seams.
+        from repro.exec.backends import ThreadBackend
+
+        private = Sanitizer(name="integration")
+        monkeypatch.setattr(sanitize, "_GLOBAL", private)
+        lock = sanitize.make_lock("dispatcher-cache")
+        backend = ThreadBackend(workers=2)
+        with lock:
+            result = backend.map(lambda item: item * 2, [1, 2, 3])
+        assert result == [2, 4, 6]
+        assert "lock-across-map" in kinds(private)
+
+    def test_thread_backend_map_without_held_locks_is_clean(self, monkeypatch):
+        from repro.exec.backends import ThreadBackend
+
+        private = Sanitizer(name="integration")
+        monkeypatch.setattr(sanitize, "_GLOBAL", private)
+        backend = ThreadBackend(workers=2)
+        assert backend.map(lambda item: item + 1, [1, 2]) == [2, 3]
+        assert private.findings == []
+
+    def test_locked_lru_constructs_through_the_seam(self, monkeypatch):
+        private = Sanitizer(name="integration")
+        monkeypatch.setattr(sanitize, "_GLOBAL", private)
+        from repro.utils.lru import LockedLRU
+
+        cache = LockedLRU(max_entries=4)
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert private.report()["locks"] >= 1
+        assert private.findings == []
+
+
+class TestReport:
+    def test_report_schema_and_dedup(self):
+        sanitizer = Sanitizer(name="test")
+        lock = sanitizer.make_lock("cache")
+        for _ in range(3):  # identical findings deduplicate
+            with lock:
+                with sanitizer.map_boundary("map"):
+                    pass
+        report = sanitizer.report()
+        assert report["enabled"] is True
+        assert report["name"] == "test"
+        assert report["locks"] == 1
+        assert len(report["findings"]) == 1
+        entry = report["findings"][0]
+        assert set(entry) >= {"kind", "detail", "thread"}
+
+    def test_reset_runtime_clears_in_flight(self):
+        sanitizer = Sanitizer(name="test")
+        span = sanitizer.task_span()
+        span.__enter__()
+        sanitizer.reset_runtime()
+        # After a (simulated) fork the child starts with zero in-flight
+        # tasks; a mutation with one fresh task must not flag.
+        with sanitizer.watch():
+            with sanitizer.task_span():
+                warnings.filterwarnings("error", category=RuntimeWarning)
+        warnings.resetwarnings()
+        assert sanitizer.findings == []
+
+    def test_atexit_report_is_written(self, tmp_path):
+        # End to end in a subprocess: REPRO_SANITIZE=1 installs the global
+        # sanitizer at import; REPRO_SANITIZE_REPORT collects the JSON.
+        report_path = tmp_path / "sanitize.json"
+        env = dict(os.environ)
+        env.update({
+            "REPRO_SANITIZE": "1",
+            "REPRO_SANITIZE_REPORT": str(report_path),
+            "PYTHONPATH": "src",
+        })
+        code = (
+            "from repro.analysis import sanitize\n"
+            "assert sanitize.enabled()\n"
+            "lock = sanitize.make_lock('probe')\n"
+            "with lock:\n"
+            "    pass\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], env=env, check=True, timeout=120,
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["enabled"] is True
+        assert payload["findings"] == []
+        assert payload["locks"] >= 1
