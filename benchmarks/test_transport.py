@@ -1,0 +1,157 @@
+"""Dispatch benchmarks of the worker transport's frame protocols.
+
+Times whole maps through a live :class:`~repro.exec.WorkerHost` (spawn
+cost amortised by a warm-up map) for frame protocol v1 and both v2 planes
+on the fork transport, at payload sizes from the dispatch floor (8-byte
+items — pure protocol latency) up to 4 MiB arrays.  Per-configuration
+best wall-clock and MB/s land in the session trajectory — run with
+``REPRO_BENCH_SUITE=transport`` to emit ``BENCH_transport.json`` with a
+``metrics.transport`` section — so the zero-copy claims in EXPERIMENTS.md
+are backed by archived data.
+
+The acceptance pin lives here too: on a host with shared memory, the v2
+shm plane must clear **2x** the v1 dispatch wall-clock for >= 1 MiB
+payloads (the issue's floor; observed numbers land in the trajectory
+either way).  Parity is asserted alongside — the measured configurations
+return byte-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import Shard, WorkerHost, fork_available
+from repro.exec.arrayplane import PLANE_INLINE, PLANE_SHM, shm_available
+from repro.exec.transport import ForkSocketpairTransport
+
+pytestmark = pytest.mark.skipif(not fork_available(), reason="needs fork")
+
+#: Measured frame-protocol configurations, all on the fork transport so
+#: the comparison isolates the frame codec (not the connection medium).
+#: The shm plane is skipped (not failed) where /dev/shm is unavailable.
+MODES = [
+    ("v1", {"protocol": 1}),
+    ("v2-inline", {"protocol": 2, "plane": PLANE_INLINE}),
+    ("v2-shm", {"protocol": 2, "plane": PLANE_SHM}),
+]
+
+#: Payload size per item; every map round-trips the payload (item out,
+#: result back), so one map moves 2 * items * size bytes end to end.
+PAYLOADS = {
+    "floor-8B": 8,
+    "small-64KiB": 64 << 10,
+    "medium-512KiB": 512 << 10,
+    "large-4MiB": 4 << 20,
+}
+
+NUM_ITEMS = 8
+WORKERS = 2
+REPEATS = 5
+
+#: The issue's acceptance floor: v2's shm plane vs v1 wall-clock on the
+#: large payload.
+LARGE_SPEEDUP_FLOOR = 2.0
+
+
+def _echo(arr):
+    """The benchmark task: ship the payload back unchanged, so the wire
+    (not the computation) dominates the map."""
+    return arr
+
+
+def _shards(count: int) -> list:
+    return [Shard(index=i, item_indices=(i,), cost=1.0) for i in range(count)]
+
+
+def _payload_items(nbytes: int) -> list:
+    count = max(nbytes // 8, 1)
+    return [
+        np.arange(i, i + count, dtype=np.float64) for i in range(NUM_ITEMS)
+    ]
+
+
+def _best_map_seconds(host, items) -> float:
+    shards = _shards(len(items))
+    host.run(_echo, items, shards)  # warm-up: spawn + task registration
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        host.run(_echo, items, shards)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def transport_timings(bench_metrics) -> dict:
+    """best seconds per (payload, mode), published into the trajectory."""
+    timings = {}
+    for mode, kwargs in MODES:
+        if kwargs.get("plane") == PLANE_SHM and not shm_available():
+            continue
+        host = WorkerHost(
+            transport=ForkSocketpairTransport(**kwargs), workers=WORKERS
+        )
+        try:
+            for payload, nbytes in PAYLOADS.items():
+                items = _payload_items(nbytes)
+                seconds = _best_map_seconds(host, items)
+                moved = 2 * sum(item.nbytes for item in items)
+                timings[(payload, mode)] = seconds
+                bench_metrics.setdefault("transport", {})[
+                    f"{payload}:{mode}"
+                ] = {
+                    "mode": mode,
+                    "payload_bytes": int(nbytes),
+                    "items": NUM_ITEMS,
+                    "workers": WORKERS,
+                    "best_seconds": round(seconds, 6),
+                    "mb_per_sec": round(moved / seconds / 1e6, 1),
+                }
+        finally:
+            host.shutdown()
+    return timings
+
+
+class TestDispatchFloor:
+    def test_floor_latency_recorded_for_every_mode(self, transport_timings):
+        floors = {
+            mode: seconds
+            for (payload, mode), seconds in transport_timings.items()
+            if payload == "floor-8B"
+        }
+        assert "v1" in floors and "v2-inline" in floors
+        assert all(seconds > 0 for seconds in floors.values())
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory")
+    def test_v2_shm_clears_the_large_payload_floor(self, transport_timings):
+        v1 = transport_timings[("large-4MiB", "v1")]
+        v2 = transport_timings[("large-4MiB", "v2-shm")]
+        speedup = v1 / v2
+        assert speedup >= LARGE_SPEEDUP_FLOOR, (
+            f"v2 shm plane at {speedup:.2f}x v1 on 4 MiB payloads "
+            f"(floor {LARGE_SPEEDUP_FLOOR}x: v1 {v1:.4f}s, v2 {v2:.4f}s)"
+        )
+
+
+class TestBenchParity:
+    def test_measured_modes_return_identical_bytes(self):
+        items = _payload_items(256 << 10)
+        reference = None
+        for mode, kwargs in MODES:
+            if kwargs.get("plane") == PLANE_SHM and not shm_available():
+                continue
+            host = WorkerHost(
+                transport=ForkSocketpairTransport(**kwargs), workers=WORKERS
+            )
+            try:
+                results, _ = host.run(_echo, items, _shards(len(items)))
+            finally:
+                host.shutdown()
+            payload = b"".join(r.tobytes() for r in results)
+            if reference is None:
+                reference = payload
+            else:
+                assert payload == reference, f"{mode} diverged from v1"

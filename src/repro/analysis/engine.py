@@ -49,6 +49,13 @@ GOLDEN_PACKAGES = (
     # stay in scope even if the exec package is ever split.
     ("repro", "exec", "dag.py"),
     ("repro", "exec", "costmodel.py"),
+    # The frame-protocol modules, pinned for the same reason: the v2 array
+    # plane carries every golden map's payload bytes (segment framing,
+    # adoption, pooling), and bit-identity across {v1, v2} x transports is
+    # itself a pinned tier — these must stay in scope even if the exec
+    # package is ever split.
+    ("repro", "exec", "transport.py"),
+    ("repro", "exec", "arrayplane.py"),
 )
 
 #: Inline suppression: a comment *starting* with the directive — trailing

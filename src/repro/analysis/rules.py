@@ -369,6 +369,16 @@ _UNPICKLABLE_CONSTRUCTORS = {
     "socket": {"socket.socket", "socket.socketpair",
                "socket.create_connection", "socket.create_server"},
     "thread": {"threading.Thread"},
+    # A SharedMemory handle owns a file descriptor and a mapping of *this*
+    # process; captured in a shipped closure it pickles as a name-only
+    # re-attach whose lifetime contract (who unlinks? who reaps on death?)
+    # silently diverges from the transport's segment pool.  Arrays riding
+    # the v2 array plane cross as plain ndarrays — tasks never need the
+    # handle itself.
+    "shared-memory segment": {
+        "SharedMemory", "shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.SharedMemory",
+    },
 }
 
 

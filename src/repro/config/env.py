@@ -169,6 +169,19 @@ REPRO_TRANSPORT = register(EnvVar(
     default_text='"fork"',
 ))
 
+REPRO_TRANSPORT_SHM = register(EnvVar(
+    name="REPRO_TRANSPORT_SHM",
+    default="auto",
+    parser=parse_str,
+    description="Array plane of frame protocol v2 (auto / inline / off): "
+    "auto ships large ndarray buffers through pooled shared-memory "
+    "segments on the fork transport (raw inline segments on tcp), inline "
+    "forces bytes-on-wire segments everywhere, off falls back to v1 "
+    "frames.",
+    consumers=("repro.exec.arrayplane",),
+    default_text='"auto"',
+))
+
 REPRO_KERNEL = register(EnvVar(
     name="REPRO_KERNEL",
     default="auto",

@@ -6,6 +6,8 @@ shard-planned cluster backend, :mod:`repro.exec.worker` for the persistent
 worker-daemon lifecycle both parallel backends share,
 :mod:`repro.exec.transport` for the pluggable worker transports
 (socketpair+fork and loopback TCP) and the length-prefixed wire protocol,
+:mod:`repro.exec.arrayplane` for frame protocol v2's out-of-band array
+plane (pickle protocol 5 segments, the ref-counted shared-memory pool),
 :mod:`repro.exec.artifacts` for the two-level store that lets staged
 pipeline runs reuse profile curves and baked models across devices,
 selectors and repeated ``prepare()`` calls, and :mod:`repro.exec.persist`
@@ -16,6 +18,16 @@ pool, and :mod:`repro.exec.costmodel` fits the measured per-stage cost
 model its (and the shard planner's) cost hints come from.
 """
 
+from repro.exec.arrayplane import (
+    FrameProtocolError,
+    MAX_FRAME_BYTES,
+    PLANE_INLINE,
+    PLANE_SHM,
+    SHM_ENV_VAR,
+    SegmentPool,
+    shared_pool,
+    shm_available,
+)
 from repro.exec.artifacts import ArtifactStats, ArtifactStore, create_artifact_store
 from repro.exec.backends import (
     BACKEND_ENV_VAR,
@@ -65,6 +77,7 @@ from repro.exec.persist import (
     default_artifact_dir,
 )
 from repro.exec.transport import (
+    Channel,
     DEFAULT_TRANSPORT_NAME,
     ForkSocketpairTransport,
     TRANSPORT_ENV_VAR,
@@ -88,6 +101,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "Backend",
+    "Channel",
     "ClusterBackend",
     "ClusterStats",
     "ClusterTaskError",
@@ -102,8 +116,14 @@ __all__ = [
     "DiskArtifactStore",
     "DiskStoreStats",
     "ForkSocketpairTransport",
+    "FrameProtocolError",
     "HostRunReport",
+    "MAX_FRAME_BYTES",
+    "PLANE_INLINE",
+    "PLANE_SHM",
     "ProcessBackend",
+    "SHM_ENV_VAR",
+    "SegmentPool",
     "SerialBackend",
     "Shard",
     "ShardPlanner",
@@ -130,6 +150,8 @@ __all__ = [
     "resolve_backend",
     "resolve_transport",
     "shard_rng",
+    "shared_pool",
+    "shm_available",
     "shutdown_process_pools",
     "shutdown_worker_hosts",
     "store_aware_costs",

@@ -1,0 +1,842 @@
+"""Frame protocol v2: the out-of-band array plane of the worker transport.
+
+Protocol v1 (:func:`repro.exec.transport.send_frame`) pays a full
+``pickle.dumps`` copy of every ndarray payload to cross the wire, and a
+second copy on receive.  For the render-chunk and bake paths the arrays
+dwarf the control metadata by orders of magnitude, so v2 splits them out:
+``pickle`` runs at protocol 5 with ``buffer_callback``, the control frame
+carries metadata only, and each array buffer crosses as its own
+**segment** —
+
+* **inline** (kind 0): raw length-prefixed bytes on the socket.  The only
+  segment kind the TCP plane uses (bytes-on-wire is the remote-ready
+  path), and the fallback everywhere when shared memory is unavailable or
+  the buffer is too small to be worth a segment.
+* **transfer** (kind 1, worker → scheduler): the worker places the buffer
+  in a fresh :class:`multiprocessing.shared_memory.SharedMemory` block and
+  ships only its name; the scheduler *adopts* the block — attaches and
+  immediately unlinks it, so the name never outlives the frame — and the
+  unpickled arrays are zero-copy views of the mapping.
+* **pooled** (kind 2, scheduler → worker): the buffer is written into a
+  scheduler-owned, ref-counted :class:`SegmentPool` block; the worker
+  attaches (with a small keep-alive cache, blocks are reused across
+  dispatches) and reads items zero-copy.  The scheduler pins the block
+  for the lifetime of the dispatch and recycles it when the shard's reply
+  (or the worker's death) releases the pin.
+
+Wire layout of one v2 frame::
+
+    <Q control_len> <I nseg> <control bytes> nseg * segment
+    segment(kind 0) = <B 0> <Q size> <raw bytes>
+    segment(kind 1) = <B 1> <B namelen> <name ascii> <Q size>
+    segment(kind 2) = <B 2> <B namelen> <name ascii> <Q size>
+
+Segment lifetime contract (the part v1 never needed):
+
+* Transfer blocks are **created by the worker, owned by the scheduler**:
+  the worker closes its handle right after the send and never unlinks;
+  the scheduler unlinks at adoption, so a successfully received frame can
+  never leak a name.  A worker that dies *between* creating a block and
+  the scheduler reading the frame leaves an orphan — every worker's
+  blocks carry that worker's unique name prefix, and the host reaps the
+  prefix (``/dev/shm`` enumeration) whenever the worker is retired or
+  found dead.
+* Pooled blocks are created, unlinked and recycled by the scheduler
+  alone; workers only ever attach.  :meth:`SegmentPool.shutdown` (atexit)
+  unlinks every pooled block, so a clean interpreter exit leaves zero
+  residue by construction.
+* Adopted mappings stay alive exactly as long as the arrays viewing them;
+  :meth:`SegmentPool.reclaim` probes each with ``close()`` (which refuses
+  with :class:`BufferError` while exported views exist) after every map.
+
+Everything here is behind the typed ``REPRO_TRANSPORT_SHM`` knob
+(``auto`` — v2 with shared memory where available; ``inline`` — v2 with
+inline segments only; ``off`` — v1 frames everywhere) with graceful
+per-buffer fallback to inline segments when block creation fails, and
+graceful fallback to protocol v1 when the platform has no usable shared
+memory at all.  Version negotiation lives in
+:mod:`repro.exec.transport`: fork workers are told their protocol in the
+spawn arguments, TCP workers advertise theirs in the connect-back hello
+and the scheduler confirms in a ``welcome`` frame.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import socket
+import struct
+
+from repro.analysis.sanitize import make_lock
+from repro.config import env as repro_env
+
+#: Environment variable selecting the array plane (see module docstring).
+SHM_ENV_VAR = repro_env.REPRO_TRANSPORT_SHM.name
+
+#: Hard ceiling on any single length field read off the wire — a corrupt
+#: or hostile peer must not drive an unbounded allocation before pickle
+#: even sees the payload.  8 GiB: far above any real frame, far below the
+#: address-space damage a forged 2**63 prefix could do.
+MAX_FRAME_BYTES = 8 << 30
+
+#: Ceiling on segments per frame (a frame with a million buffers is a
+#: protocol violation, not a workload).
+MAX_SEGMENTS_PER_FRAME = 1 << 20
+
+#: Buffers below this ride inline even on the shm plane: mapping a fresh
+#: block costs more than one small copy.
+SHM_MIN_BYTES = 64 << 10
+
+#: Free pooled bytes kept mapped for reuse; beyond this, released blocks
+#: are unlinked instead of recycled.
+POOL_KEEP_BYTES = 256 << 20
+
+#: Pooled block sizes are rounded up to this granule so consecutive maps
+#: with slightly different payloads reuse blocks instead of churning them.
+_POOL_GRANULE = 64 << 10
+
+#: Worker-side bound on cached pooled-block attachments.
+_ATTACH_CACHE_MAX = 64
+
+#: Where POSIX shared memory is visible as files (Linux).  Orphan reaping
+#: and the residue assertions enumerate names here; on platforms without
+#: it, reaping degrades to a no-op (and ``shm_available()`` is False).
+SHM_DIR = "/dev/shm"
+
+_V2_HEADER = struct.Struct("<QI")
+_SEG_KIND = struct.Struct("<B")
+_SEG_SIZE = struct.Struct("<Q")
+_SEG_NAMELEN = struct.Struct("<B")
+
+_KIND_INLINE = 0
+_KIND_TRANSFER = 1
+_KIND_POOLED = 2
+
+
+class FrameProtocolError(ConnectionError):
+    """A malformed or protocol-violating frame (oversized length prefix,
+    unknown segment kind, a named block that no longer exists).
+
+    Subclasses :class:`ConnectionError` so every existing death-handling
+    path — ``except (EOFError, OSError)`` on both sides of the wire —
+    treats a poisoned stream exactly like a closed one: the daemon is
+    retired and its in-flight shard re-enqueued.
+    """
+
+
+def _sanity_check_length(length: int, what: str) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise FrameProtocolError(
+            f"{what} of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "frame cap (corrupt stream or hostile peer)"
+        )
+    return length
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory primitives
+# ---------------------------------------------------------------------------
+
+_SHM_PROBED: "bool | None" = None
+
+
+def _shared_memory_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def _untrack(shm) -> None:
+    """Detach ``shm`` from multiprocessing's resource tracker.
+
+    The tracker would unlink every registered block when *any* process of
+    the tree exits — but our blocks have explicit owners (the scheduler's
+    pool registry plus prefix reaping), and a worker's exit must never
+    unlink a block the scheduler still maps.
+    """
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker not running
+        pass
+
+
+def _create_block(name: "str | None", size: int):
+    shared_memory = _shared_memory_module()
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _untrack(shm)
+    return shm
+
+
+def _attach_block(name: str):
+    # This Python registers with the resource tracker on *attach* as well
+    # as create, so attaches must untrack too — otherwise the tracker
+    # would warn (or unlink a reused pooled block) at interpreter exit.
+    shared_memory = _shared_memory_module()
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    return shm
+
+
+def shm_available() -> bool:
+    """Whether this platform supports the shared-memory plane (probed once).
+
+    Requires both a working ``SharedMemory`` create and the ``/dev/shm``
+    mount — orphan reaping and the residue assertions enumerate names
+    there, and a plane whose leaks were invisible would be worse than the
+    inline fallback.
+    """
+    global _SHM_PROBED
+    if _SHM_PROBED is None:
+        if not os.path.isdir(SHM_DIR):
+            _SHM_PROBED = False
+        else:
+            try:
+                probe = _create_block(None, 1)
+                name = probe.name
+                probe.close()
+                _unlink_name(name)
+                _SHM_PROBED = True
+            except Exception:
+                _SHM_PROBED = False
+    return _SHM_PROBED
+
+
+def list_shm_names(prefix: str) -> "list[str]":
+    """Linked shared-memory names under ``prefix`` (the residue probe)."""
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+#: Every name this module mints starts with this, so tests can assert
+#: zero residue across the whole plane with one enumeration.
+NAME_ROOT = "reproap"
+
+_PREFIX_SEQ = itertools.count()
+
+#: Pooled-block name sequence, shared by every pool in the process: names
+#: encode only ``pid + seq``, so a per-instance counter would let a test's
+#: private pool collide with the shared pool on the same name.
+_POOL_NAME_SEQ = itertools.count()
+
+
+def next_worker_prefix() -> str:
+    """A process-unique name prefix for one worker's transfer blocks."""
+    return f"{NAME_ROOT}{os.getpid()}w{next(_PREFIX_SEQ)}x"
+
+
+# ---------------------------------------------------------------------------
+# The scheduler-side segment pool
+# ---------------------------------------------------------------------------
+
+
+class _PooledBlock:
+    __slots__ = ("shm", "capacity", "refs")
+
+    def __init__(self, shm, capacity: int) -> None:
+        self.shm = shm
+        self.capacity = capacity
+        self.refs = 0
+
+
+class SegmentPool:
+    """The scheduler's registry of shared-memory blocks: ref-counted
+    pooled blocks for outbound dispatches, adopted transfer blocks from
+    inbound results, and the orphan-reaping bookkeeping for both.
+
+    One instance per scheduler process (see :func:`shared_pool`); fork
+    children that inherit it get a fresh, empty pool instead — a worker
+    must never unlink blocks the scheduler still owns.
+    """
+
+    def __init__(self) -> None:
+        self._owner_pid = os.getpid()
+        self._lock = make_lock("arrayplane.SegmentPool")
+        #: name -> _PooledBlock, every pooled block still linked.
+        self._pooled: dict = {}
+        #: (capacity, name) of pooled blocks with zero refs, reusable.
+        self._free: list = []
+        self._free_bytes = 0
+        #: name -> SharedMemory of adopted (already-unlinked) transfer
+        #: blocks whose mappings may still back live result arrays.
+        self._adopted: dict = {}
+        self.created = 0
+        self.reused = 0
+        self.released = 0
+        self.adopted = 0
+        self.reclaimed = 0
+        self.reaped = 0
+
+    # -- pooled blocks (scheduler -> worker) -------------------------------
+
+    def allocate(self, nbytes: int) -> "tuple[str, memoryview]":
+        """A pooled block of at least ``nbytes``, pinned (refs = 1).
+
+        Reuses the smallest fitting free block, else creates one (sizes
+        rounded up to the pool granule so near-miss payloads still hit).
+        Raises ``OSError`` when shared memory cannot be created — callers
+        fall back to an inline segment.
+        """
+        needed = max(int(nbytes), 1)
+        with self._lock:
+            fit_at = -1
+            for position, (capacity, _) in enumerate(self._free):
+                if capacity >= needed and (
+                    fit_at < 0 or capacity < self._free[fit_at][0]
+                ):
+                    fit_at = position
+            if fit_at >= 0:
+                capacity, name = self._free.pop(fit_at)
+                self._free_bytes -= capacity
+                block = self._pooled[name]
+                block.refs = 1
+                self.reused += 1
+                return name, block.shm.buf[:needed]
+        # Creation happens outside the lock (it is a syscall, and an
+        # ENOSPC must not wedge concurrent releases); registration after.
+        capacity = -(-needed // _POOL_GRANULE) * _POOL_GRANULE
+        name = f"{NAME_ROOT}{self._owner_pid}p{next(_POOL_NAME_SEQ)}"
+        shm = _create_block(name, capacity)
+        block = _PooledBlock(shm, capacity)
+        block.refs = 1
+        with self._lock:
+            self._pooled[name] = block
+            self.created += 1
+        return name, shm.buf[:needed]
+
+    def pin(self, name: str) -> None:
+        """Add one reference to a busy pooled block (speculative sends)."""
+        with self._lock:
+            self._pooled[name].refs += 1
+
+    def release(self, name: str) -> None:
+        """Drop one reference; at zero the block returns to the free list
+        (or is unlinked beyond the keep bound).  Unknown names are
+        ignored — a pin may be released twice when a dispatch both errors
+        and surfaces a death event."""
+        unlink = None
+        with self._lock:
+            block = self._pooled.get(name)
+            if block is None or block.refs <= 0:
+                return
+            block.refs -= 1
+            if block.refs:
+                return
+            self.released += 1
+            if self._free_bytes + block.capacity <= POOL_KEEP_BYTES:
+                self._free.append((block.capacity, name))
+                self._free_bytes += block.capacity
+            else:
+                del self._pooled[name]
+                unlink = block.shm
+        if unlink is not None:
+            _destroy_block(unlink)
+
+    # -- adopted blocks (worker -> scheduler) ------------------------------
+
+    def adopt(self, name: str, size: int) -> memoryview:
+        """Attach a worker's transfer block and immediately unlink it.
+
+        The name is gone from ``/dev/shm`` before this returns — the
+        mapping (and the result arrays viewing it) live on until
+        :meth:`reclaim` can close the handle.
+        """
+        try:
+            shm = _attach_block(name)
+        except (OSError, ValueError) as error:
+            raise FrameProtocolError(
+                f"transfer segment {name!r} vanished before adoption "
+                "(worker died mid-frame?)"
+            ) from error
+        _unlink_name(name)
+        with self._lock:
+            self._adopted[name] = shm
+            self.adopted += 1
+        return shm.buf[:size]
+
+    def reclaim(self) -> int:
+        """Close adopted mappings no longer backing any live array.
+
+        ``SharedMemory.close`` refuses with :class:`BufferError` while
+        exported views exist, which makes it an exact liveness probe; the
+        blocks are already unlinked, so this frees memory, never names.
+        """
+        with self._lock:
+            candidates = list(self._adopted.items())
+        freed = 0
+        for name, shm in candidates:
+            try:
+                shm.close()
+            except BufferError:
+                continue
+            freed += 1
+            with self._lock:
+                self._adopted.pop(name, None)
+                self.reclaimed += 1
+        return freed
+
+    # -- orphan reaping and shutdown ---------------------------------------
+
+    def reap_prefix(self, prefix: str) -> int:
+        """Unlink every linked block under ``prefix`` (a dead worker's
+        transfer namespace).  Blocks already adopted were unlinked at
+        adoption, so whatever the enumeration still finds is an orphan —
+        created by the worker but never received."""
+        reaped = 0
+        for name in list_shm_names(prefix):
+            if _unlink_name(name):
+                reaped += 1
+        if reaped:
+            with self._lock:
+                self.reaped += reaped
+        return reaped
+
+    def shutdown(self) -> None:
+        """Unlink every pooled block and close every reclaimable adopted
+        mapping (idempotent; atexit).  No-op in fork children."""
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            pooled = list(self._pooled.values())
+            self._pooled.clear()
+            self._free.clear()
+            self._free_bytes = 0
+        for block in pooled:
+            _destroy_block(block.shm)
+        self.reclaim()
+        # Adopted mappings still backing live arrays cannot close; defuse
+        # them so nothing raises from finalizers at interpreter exit (the
+        # names are long unlinked — this frees descriptors, not memory).
+        with self._lock:
+            leftover = list(self._adopted.values())
+            self._adopted.clear()
+        for shm in leftover:
+            _quiet_close(shm)
+
+    # -- introspection ------------------------------------------------------
+
+    def pooled_names(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._pooled)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "created": self.created,
+                "reused": self.reused,
+                "released": self.released,
+                "adopted": self.adopted,
+                "reclaimed": self.reclaimed,
+                "reaped": self.reaped,
+                "pooled": len(self._pooled),
+                "free": len(self._free),
+                "adopted_live": len(self._adopted),
+            }
+
+    def refs(self, name: str) -> int:
+        with self._lock:
+            block = self._pooled.get(name)
+            return 0 if block is None else block.refs
+
+
+def _quiet_close(shm) -> bool:
+    """Close ``shm`` when nothing views it; otherwise *defuse* it.
+
+    ``SharedMemory.close`` refuses with :class:`BufferError` while
+    exported views exist, and its ``__del__`` does not catch that — so an
+    unclosable handle dropped at interpreter exit prints an
+    ignored-exception traceback.  Defusing closes the file descriptor and
+    drops our references to the buffer and mapping: the mapping then
+    lives exactly as long as the arrays viewing it (they hold it via the
+    exported memoryview chain) and finalization has nothing left to
+    raise about.  Returns whether a real close happened.
+    """
+    try:
+        shm.close()
+        return True
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            shm._fd = -1
+        return False
+
+
+def _destroy_block(shm) -> None:
+    # Raw unlink, not shm.unlink(): the block was untracked at creation,
+    # and a tracked unlink would send the resource tracker a spurious
+    # second UNREGISTER for it.
+    _unlink_name(shm.name)
+    _quiet_close(shm)
+
+
+def _unlink_name(name: str) -> bool:
+    try:
+        os.unlink(os.path.join(SHM_DIR, name))
+        return True
+    except OSError:
+        return False
+
+
+_SHARED_POOL: "SegmentPool | None" = None
+
+
+def shared_pool() -> SegmentPool:
+    """The scheduler process's pool (fresh in fork children — an
+    inherited pool's blocks belong to the parent)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is None or _SHARED_POOL._owner_pid != os.getpid():
+        _SHARED_POOL = SegmentPool()
+    return _SHARED_POOL
+
+
+def release_segments(names) -> None:
+    """Release one dispatch's pooled pins (host-side bookkeeping hook)."""
+    pool = shared_pool()
+    for name in names:
+        pool.release(name)
+
+
+def reclaim_segments() -> int:
+    """Probe-close adopted mappings whose arrays have been collected."""
+    return shared_pool().reclaim()
+
+
+def reap_worker_segments(prefix: "str | None") -> int:
+    """Reap a retired/dead worker's orphaned transfer blocks by prefix."""
+    if not prefix:
+        return 0
+    return shared_pool().reap_prefix(prefix)
+
+
+def _shutdown_shared_pool() -> None:
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.shutdown()
+
+
+atexit.register(_shutdown_shared_pool)
+
+
+# ---------------------------------------------------------------------------
+# The worker-side segment writer and attach cache
+# ---------------------------------------------------------------------------
+
+
+class SegmentWriter:
+    """Creates one worker's transfer blocks, under its unique prefix.
+
+    The worker closes its handle right after the frame is sent (the
+    scheduler owns the block from adoption on), so the writer holds no
+    long-lived state beyond the name sequence.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._seq = itertools.count()
+
+    def create(self, nbytes: int):
+        name = f"{self.prefix}s{next(self._seq)}"
+        return name, _create_block(name, max(int(nbytes), 1))
+
+
+class _AttachCache:
+    """Worker-side keep-alive cache of pooled-block attachments.
+
+    Pooled blocks are recycled across dispatches, so re-attaching by name
+    on every frame would waste a map+unmap per segment; entries are
+    evicted oldest-first when closable (``close()`` refuses while item
+    arrays still view the mapping — those entries simply stay)."""
+
+    def __init__(self) -> None:
+        self._blocks: dict = {}
+
+    def view(self, name: str, size: int) -> memoryview:
+        shm = self._blocks.get(name)
+        if shm is None:
+            try:
+                shm = _attach_block(name)
+            except (OSError, ValueError) as error:
+                raise FrameProtocolError(
+                    f"pooled segment {name!r} is not attachable "
+                    "(scheduler recycled it early?)"
+                ) from error
+            self._evict()
+            self._blocks[name] = shm
+        return shm.buf[:size]
+
+    def _evict(self) -> None:
+        while len(self._blocks) >= _ATTACH_CACHE_MAX:
+            evicted = False
+            for name in list(self._blocks):
+                shm = self._blocks[name]
+                try:
+                    shm.close()
+                except BufferError:
+                    continue
+                del self._blocks[name]
+                evicted = True
+                break
+            if not evicted:
+                return  # every entry still backs a live array; keep all
+
+    def close(self) -> None:
+        for shm in self._blocks.values():
+            _quiet_close(shm)  # defused when item arrays are still alive
+        self._blocks.clear()
+
+
+# ---------------------------------------------------------------------------
+# The v2 codec
+# ---------------------------------------------------------------------------
+
+
+def _recv_exact(conn: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = conn.recv(min(count, 1 << 20))
+        if not chunk:
+            raise EOFError("worker connection closed")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_exact_into(conn: socket.socket, view: memoryview) -> None:
+    while view.nbytes:
+        received = conn.recv_into(view, min(view.nbytes, 1 << 20))
+        if not received:
+            raise EOFError("worker connection closed")
+        view = view[received:]
+
+
+def _sendall_parts(conn: socket.socket, parts: list) -> None:
+    """One ``sendall`` per large buffer, small parts coalesced."""
+    small = bytearray()
+    for part in parts:
+        view = memoryview(part)
+        if view.nbytes < SHM_MIN_BYTES:
+            small += view
+            continue
+        if small:
+            conn.sendall(small)
+            small = bytearray()
+        conn.sendall(view)
+    if small:
+        conn.sendall(small)
+
+
+class ArrayPlaneCodec:
+    """Sends and receives v2 frames on one connection.
+
+    Args:
+        role: ``"scheduler"`` or ``"worker"`` — decides which shm segment
+            kind this side emits (pooled vs transfer) and accepts.
+        use_shm: whether large buffers ride shared memory at all (the
+            ``inline`` plane sets this False; TCP always does).
+        pool: the scheduler's :class:`SegmentPool` (scheduler role only).
+        writer: this worker's :class:`SegmentWriter` (worker role only).
+    """
+
+    version = 2
+
+    def __init__(self, role: str, use_shm: bool, pool=None, writer=None) -> None:
+        self.role = role
+        self.use_shm = bool(use_shm)
+        self.pool = pool
+        self.writer = writer
+        self._attached = _AttachCache() if role == "worker" else None
+        self._pins: list = []
+
+    # -- send ---------------------------------------------------------------
+
+    def send(self, conn: socket.socket, message: tuple) -> None:
+        # Pickle first: a PicklingError must surface before any bytes are
+        # written (v1's torn-frame guarantee), and segment blocks are only
+        # allocated once the control frame is known good.
+        buffers: list = []
+        control = pickle.dumps(
+            message, protocol=5, buffer_callback=buffers.append
+        )
+        if len(buffers) > MAX_SEGMENTS_PER_FRAME:
+            raise ValueError(
+                f"frame with {len(buffers)} out-of-band buffers exceeds the "
+                f"{MAX_SEGMENTS_PER_FRAME}-segment cap"
+            )
+        parts: list = [_V2_HEADER.pack(len(control), len(buffers)), control]
+        pins: list = []
+        transfers: list = []
+        try:
+            for buffer in buffers:
+                raw = buffer.raw()
+                placed = False
+                if self.use_shm and raw.nbytes >= SHM_MIN_BYTES:
+                    placed = self._place_shm(raw, parts, pins, transfers)
+                if not placed:
+                    parts.append(
+                        _SEG_KIND.pack(_KIND_INLINE) + _SEG_SIZE.pack(raw.nbytes)
+                    )
+                    parts.append(raw)
+            _sendall_parts(conn, parts)
+        except BaseException:
+            # Nothing of this frame must outlive a failed send: pooled
+            # pins go back to the pool, unreceived transfer blocks are
+            # unlinked (the peer never learned their names).
+            for name in pins:
+                self.pool.release(name)
+            for shm in transfers:
+                _destroy_block(shm)
+            raise
+        for shm in transfers:
+            shm.close()  # the receiver owns the block from adoption on
+        self._pins.extend(pins)
+
+    def _place_shm(self, raw: memoryview, parts, pins, transfers) -> bool:
+        """Stage one buffer as a shm segment; False → caller inlines it."""
+        try:
+            if self.role == "scheduler":
+                name, view = self.pool.allocate(raw.nbytes)
+                pins.append(name)
+                kind = _KIND_POOLED
+            else:
+                name, shm = self.writer.create(raw.nbytes)
+                transfers.append(shm)
+                view = shm.buf[: raw.nbytes]
+                kind = _KIND_TRANSFER
+        except OSError:
+            return False  # /dev/shm full or gone: degrade to inline
+        view[:] = raw
+        encoded = name.encode("ascii")
+        parts.append(
+            _SEG_KIND.pack(kind)
+            + _SEG_NAMELEN.pack(len(encoded))
+            + encoded
+            + _SEG_SIZE.pack(raw.nbytes)
+        )
+        return True
+
+    def take_pins(self) -> list:
+        """Pooled names pinned by sends since the last take (host-side
+        bookkeeping: released when the dispatch's reply or death event
+        retires the shard)."""
+        pins, self._pins = self._pins, []
+        return pins
+
+    # -- receive ------------------------------------------------------------
+
+    def recv(self, conn: socket.socket) -> tuple:
+        control_len, nseg = _V2_HEADER.unpack(
+            _recv_exact(conn, _V2_HEADER.size)
+        )
+        _sanity_check_length(control_len, "v2 control frame")
+        if nseg > MAX_SEGMENTS_PER_FRAME:
+            raise FrameProtocolError(
+                f"v2 frame names {nseg} segments (cap "
+                f"{MAX_SEGMENTS_PER_FRAME}; corrupt stream or hostile peer)"
+            )
+        control = _recv_exact(conn, control_len)
+        buffers = []
+        for _ in range(nseg):
+            (kind,) = _SEG_KIND.unpack(_recv_exact(conn, _SEG_KIND.size))
+            if kind == _KIND_INLINE:
+                (size,) = _SEG_SIZE.unpack(_recv_exact(conn, _SEG_SIZE.size))
+                _sanity_check_length(size, "inline segment")
+                block = bytearray(size)
+                _recv_exact_into(conn, memoryview(block))
+                buffers.append(block)
+                continue
+            if kind not in (_KIND_TRANSFER, _KIND_POOLED):
+                raise FrameProtocolError(f"unknown v2 segment kind {kind}")
+            (namelen,) = _SEG_NAMELEN.unpack(
+                _recv_exact(conn, _SEG_NAMELEN.size)
+            )
+            name = _recv_exact(conn, namelen).decode("ascii")
+            (size,) = _SEG_SIZE.unpack(_recv_exact(conn, _SEG_SIZE.size))
+            _sanity_check_length(size, "shm segment")
+            if kind == _KIND_TRANSFER:
+                if self.role != "scheduler":
+                    raise FrameProtocolError(
+                        "transfer segment sent to a worker"
+                    )
+                buffers.append(self.pool.adopt(name, size))
+            else:
+                if self.role != "worker":
+                    raise FrameProtocolError(
+                        "pooled segment sent to the scheduler"
+                    )
+                buffers.append(self._attached.view(name, size))
+        return pickle.loads(control, buffers=buffers)
+
+    def close(self) -> None:
+        if self._attached is not None:
+            self._attached.close()
+
+
+# ---------------------------------------------------------------------------
+# Knob resolution and codec construction
+# ---------------------------------------------------------------------------
+
+#: Planes a v2 connection can negotiate.
+PLANE_SHM = "shm"
+PLANE_INLINE = "inline"
+
+_OFF_SPELLINGS = frozenset({"off", "0", "false", "v1"})
+
+
+def plane_knob() -> str:
+    """The ``REPRO_TRANSPORT_SHM`` setting, normalised to
+    ``auto`` / ``inline`` / ``off``."""
+    raw = str(repro_env.REPRO_TRANSPORT_SHM.get()).strip().lower()
+    if raw in _OFF_SPELLINGS:
+        return "off"
+    if raw == PLANE_INLINE:
+        return PLANE_INLINE
+    return "auto"
+
+
+def frame_protocol_version() -> int:
+    """The frame protocol this scheduler offers (1 when the knob is off)."""
+    return 1 if plane_knob() == "off" else 2
+
+
+def default_plane(transport_name: str) -> str:
+    """The v2 plane a transport negotiates by default: shared memory for
+    same-host fork workers (when available and not knobbed to inline),
+    raw bytes-on-wire for TCP (the remote-ready path)."""
+    if (
+        transport_name == "fork"
+        and plane_knob() == "auto"
+        and shm_available()
+    ):
+        return PLANE_SHM
+    return PLANE_INLINE
+
+
+def scheduler_codec(version: int, plane: "str | None") -> "ArrayPlaneCodec | None":
+    """The scheduler side of one negotiated connection (None = v1)."""
+    if version < 2:
+        return None
+    return ArrayPlaneCodec(
+        "scheduler", use_shm=plane == PLANE_SHM, pool=shared_pool()
+    )
+
+
+def worker_codec(
+    version: int, plane: "str | None", prefix: "str | None"
+) -> "ArrayPlaneCodec | None":
+    """The worker side of one negotiated connection (None = v1)."""
+    if version < 2:
+        return None
+    use_shm = plane == PLANE_SHM and prefix is not None
+    writer = SegmentWriter(prefix) if use_shm else None
+    return ArrayPlaneCodec("worker", use_shm=use_shm, writer=writer)

@@ -6,8 +6,11 @@ work on long-lived worker daemons.  This module owns the two pieces of that
 story that are independent of *scheduling*:
 
 * the **wire protocol** — pickled tuples behind an 8-byte little-endian
-  length prefix (:func:`send_frame` / :func:`recv_frame`), and the daemon
-  loop (:func:`worker_loop`) that serves it; and
+  length prefix (:func:`send_frame` / :func:`recv_frame`, protocol v1),
+  the out-of-band array plane of protocol v2
+  (:mod:`repro.exec.arrayplane`, negotiated per connection and wrapped
+  with the socket in a :class:`Channel`), and the daemon loop
+  (:func:`worker_loop`) that serves both; and
 * the **transport** — how a worker daemon is launched and connected.
 
 Two transports ship today, selectable via the ``REPRO_TRANSPORT``
@@ -54,13 +57,26 @@ scheduler -> worker      meaning
 =======================  =================================================
 worker -> scheduler      meaning
 =======================  =================================================
-``("hello", secret)``    TCP connect-back handshake
+``("hello", secret)``    TCP connect-back handshake (a v1 worker)
+``("hello", secret,      TCP connect-back handshake advertising frame
+`` version)``            protocol ``version``; the scheduler replies with
+                         a ``welcome`` frame
 ``("done", s, elapsed,   shard ``s`` finished; per-item results in item
 `` results)``            order; ``elapsed`` task seconds
 ``("fail", s, trace,     shard ``s`` raised; formatted traceback attached,
 `` exc_bytes)``          plus the pickled exception when it pickles (so the
                          scheduler can re-raise the original type)
 =======================  =================================================
+
+Version negotiation (frame protocol v2, the array plane): fork workers
+are told their ``(version, plane, prefix)`` in the spawn arguments — the
+scheduler picks both sides of a socketpair, so there is nothing to
+discover.  TCP workers advertise their protocol as a third ``hello``
+element; v1 workers send the classic 2-tuple and the scheduler speaks v1
+back — the interop contract — while v2-capable hellos get a
+``("welcome", version, plane, prefix)`` frame (always v1-framed) naming
+the negotiated protocol, which may still be 1 when ``REPRO_TRANSPORT_SHM``
+is off.  Every frame after the handshake uses the negotiated codec.
 """
 
 from __future__ import annotations
@@ -76,6 +92,8 @@ import traceback
 import weakref
 
 from repro.config import env as repro_env
+from repro.exec import arrayplane
+from repro.exec.arrayplane import MAX_FRAME_BYTES, FrameProtocolError
 
 #: Environment variable selecting the worker transport by name.
 TRANSPORT_ENV_VAR = repro_env.REPRO_TRANSPORT.name
@@ -130,9 +148,69 @@ def _recv_exact(conn: socket.socket, count: int) -> bytes:
 
 
 def recv_frame(conn: socket.socket) -> tuple:
-    """Read one length-prefixed pickled message from ``conn``."""
+    """Read one length-prefixed pickled message from ``conn``.
+
+    The length prefix is sanity-capped at
+    :data:`~repro.exec.arrayplane.MAX_FRAME_BYTES` before any allocation:
+    a corrupt or hostile peer forging an 8-byte prefix must poison only
+    its own connection (:class:`FrameProtocolError` is a
+    :class:`ConnectionError`, so every caller's death handling applies),
+    not drive a near-2**64-byte allocation.
+    """
     (length,) = _FRAME_HEADER.unpack(_recv_exact(conn, _FRAME_HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameProtocolError(
+            f"frame length prefix of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap (corrupt stream or hostile peer)"
+        )
     return pickle.loads(_recv_exact(conn, length))
+
+
+class Channel:
+    """One scheduler<->worker connection: a socket plus its negotiated
+    frame codec.
+
+    ``codec=None`` speaks protocol v1 (:func:`send_frame` /
+    :func:`recv_frame`); a v2 :class:`~repro.exec.arrayplane.
+    ArrayPlaneCodec` splits ndarray buffers out of the control frame.
+    ``worker_prefix`` is the peer worker's transfer-segment namespace
+    (shm plane only) — the host reaps it when the worker is retired or
+    found dead.
+    """
+
+    __slots__ = ("sock", "codec", "worker_prefix")
+
+    def __init__(self, sock, codec=None, worker_prefix=None) -> None:
+        self.sock = sock
+        self.codec = codec
+        self.worker_prefix = worker_prefix
+
+    @property
+    def version(self) -> int:
+        return 1 if self.codec is None else self.codec.version
+
+    def send(self, message: tuple) -> None:
+        if self.codec is None:
+            send_frame(self.sock, message)
+        else:
+            self.codec.send(self.sock, message)
+
+    def recv(self) -> tuple:
+        if self.codec is None:
+            return recv_frame(self.sock)
+        return self.codec.recv(self.sock)
+
+    def take_pins(self) -> list:
+        """Pooled segment names pinned by sends since the last call."""
+        return [] if self.codec is None else self.codec.take_pins()
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def close(self) -> None:
+        if self.codec is not None:
+            self.codec.close()
+        self.sock.close()
 
 
 # ---------------------------------------------------------------------------
@@ -177,14 +255,14 @@ class _BrokenTask:
         raise RuntimeError(f"task failed to unpickle in worker:\n{self.trace}")
 
 
-def worker_loop(conn: socket.socket) -> None:
+def worker_loop(channel: Channel) -> None:
     """Daemon loop of one worker: serve registrations and shards until told
     to stop (or the scheduler goes away)."""
     shipped_tasks: dict = {}
     try:
         while True:
             try:
-                message = recv_frame(conn)
+                message = channel.recv()
             except (EOFError, OSError):
                 return  # scheduler went away
             kind = message[0]
@@ -230,18 +308,18 @@ def worker_loop(conn: socket.socket) -> None:
                     exc_bytes = None
                 reply = ("fail", shard_index, trace, exc_bytes)
             try:
-                send_frame(conn, reply)
+                channel.send(reply)
             except Exception:
                 # Unpicklable results: report the failure instead of dying
                 # silently (the fallback message is always picklable).
                 try:
-                    send_frame(
-                        conn, ("fail", shard_index, traceback.format_exc(), None)
+                    channel.send(
+                        ("fail", shard_index, traceback.format_exc(), None)
                     )
                 except Exception:
                     return
     finally:
-        conn.close()
+        channel.close()
 
 
 # ---------------------------------------------------------------------------
@@ -252,13 +330,34 @@ def worker_loop(conn: socket.socket) -> None:
 class Transport:
     """How worker daemons are launched and connected.
 
-    A transport owns connection establishment only; the daemon loop, the
-    frame protocol and the task registries are shared.  Implementations
-    provide :meth:`spawn_worker`, returning a ``(process, conn)`` pair whose
-    ``conn`` speaks the frame protocol.
+    A transport owns connection establishment (including frame-protocol
+    negotiation) only; the daemon loop, the frame codecs and the task
+    registries are shared.  Implementations provide :meth:`spawn_worker`,
+    returning a ``(process, channel)`` pair whose :class:`Channel` speaks
+    the negotiated frame protocol.
+
+    ``protocol`` forces a frame protocol version (1 or 2) instead of
+    consulting ``REPRO_TRANSPORT_SHM``, and ``plane`` forces the v2
+    segment plane (``"shm"`` / ``"inline"``) — the parity matrix pins
+    {v1, v2} × {fork, tcp} through these.
     """
 
     name = "base"
+
+    def __init__(self, protocol: "int | None" = None, plane: "str | None" = None) -> None:
+        self.protocol = protocol
+        self.plane = plane
+
+    def negotiated(self) -> "tuple[int, str | None]":
+        """The ``(version, plane)`` this scheduler offers new workers."""
+        version = (
+            int(self.protocol)
+            if self.protocol is not None
+            else arrayplane.frame_protocol_version()
+        )
+        if version < 2:
+            return 1, None
+        return 2, self.plane or arrayplane.default_plane(self.name)
 
     #: Whether a *new* callable can be delivered to an already-running
     #: daemon (shipped by pickle under its token).  Transports without this
@@ -278,15 +377,22 @@ class Transport:
         """Release any transport-level resources (listeners)."""
 
     def describe(self) -> str:
-        return self.name
+        version, plane = self.negotiated()
+        return self.name if version < 2 else f"{self.name}+{plane}"
 
 
-def _fork_worker_entry(conn: socket.socket) -> None:
+def _fork_worker_entry(
+    conn: socket.socket,
+    version: int = 1,
+    plane: "str | None" = None,
+    prefix: "str | None" = None,
+) -> None:
     """Entry point of one socketpair worker: drop the scheduler-side
     sockets the fork copied (other workers' connections, any TCP listener
-    — a held peer FD would mask their EOFs), then serve."""
+    — a held peer FD would mask their EOFs), then serve with the codec the
+    scheduler chose (no discovery needed — same spawn, both sides)."""
     _close_inherited_parent_sockets()
-    worker_loop(conn)
+    worker_loop(Channel(conn, arrayplane.worker_codec(version, plane, prefix)))
 
 
 class ForkSocketpairTransport(Transport):
@@ -294,17 +400,28 @@ class ForkSocketpairTransport(Transport):
 
     The worker inherits the scheduler's memory image, so the task callable
     (and, for one-shot maps, the items) never cross the wire — they are
-    looked up in the fork-inherited registries by token.
+    looked up in the fork-inherited registries by token.  Under frame
+    protocol v2 this transport negotiates the shared-memory plane (both
+    ends are on this host by construction); results then cross as
+    zero-copy segment views instead of pickled byte payloads.
     """
 
     name = "fork"
     ships_callable = False
 
     def spawn_worker(self) -> tuple:
+        version, plane = self.negotiated()
+        prefix = (
+            arrayplane.next_worker_prefix()
+            if plane == arrayplane.PLANE_SHM
+            else None
+        )
         parent_conn, child_conn = socket.socketpair()
         context = multiprocessing.get_context("fork")
         process = context.Process(
-            target=_fork_worker_entry, args=(child_conn,), daemon=True
+            target=_fork_worker_entry,
+            args=(child_conn, version, plane, prefix),
+            daemon=True,
         )
         # Register the scheduler side *before* forking: the child inherits a
         # duplicate of it, and unless the entry point closes that dup, the
@@ -313,11 +430,26 @@ class ForkSocketpairTransport(Transport):
         _PARENT_SOCKETS.add(parent_conn)
         process.start()
         child_conn.close()
-        return process, parent_conn
+        return process, Channel(
+            parent_conn,
+            arrayplane.scheduler_codec(version, plane),
+            worker_prefix=prefix,
+        )
 
 
-def _tcp_worker_entry(host: str, port: int, secret: bytes) -> None:
-    """Entry point of one TCP worker: connect back, authenticate, serve."""
+def _tcp_worker_entry(
+    host: str, port: int, secret: bytes, advertise: int = 1
+) -> None:
+    """Entry point of one TCP worker: connect back, authenticate,
+    negotiate the frame protocol, serve.
+
+    A worker advertising v1 sends the classic 2-tuple hello and speaks v1
+    unconditionally (no welcome frame is ever sent to it — exactly the
+    wire behaviour of a pre-v2 daemon, which is how the interop matrix
+    exercises "old worker, new scheduler").  A v2-capable worker adds its
+    version to the hello and adopts whatever the welcome frame names —
+    possibly still v1 when the scheduler's knob is off.
+    """
     _close_inherited_parent_sockets()
     conn = socket.create_connection((host, port), timeout=30.0)
     conn.settimeout(None)
@@ -325,8 +457,14 @@ def _tcp_worker_entry(host: str, port: int, secret: bytes) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     except OSError:  # pragma: no cover - exotic platforms
         pass
-    send_frame(conn, ("hello", secret))
-    worker_loop(conn)
+    codec = None
+    if advertise >= 2:
+        send_frame(conn, ("hello", secret, 2))
+        _, version, plane, prefix = recv_frame(conn)
+        codec = arrayplane.worker_codec(version, plane, prefix)
+    else:
+        send_frame(conn, ("hello", secret))
+    worker_loop(Channel(conn, codec))
 
 
 class TcpTransport(Transport):
@@ -342,21 +480,48 @@ class TcpTransport(Transport):
     live daemon pick up a new task without a respawn; unpicklable closures
     fall back to fork-image inheritance (loopback-only by construction).
 
+    Under frame protocol v2 the negotiated plane is always ``inline`` —
+    raw length-prefixed segments on the stream, never shared memory,
+    because the TCP stream is the remote-ready path and a remote worker
+    has no common ``/dev/shm``.  (That still beats v1: array bytes are
+    sent straight from the buffer instead of being copied through a
+    pickled payload first.)
+
     Args:
         host: interface to listen on (loopback by default; a multi-machine
             launcher would bind a routable address and start workers with
             the advertised endpoint).
         connect_timeout: seconds to wait for a spawned worker's
             connect-back handshake before declaring the spawn failed.
+        protocol / plane: see :class:`Transport`.
+        worker_protocol: the version spawned workers *advertise* (defaults
+            to the scheduler's own) — spawning v1-advertising workers
+            under a v2 scheduler is how the interop tests mix versions on
+            one live fleet.
     """
 
     name = "tcp"
     ships_callable = True
 
-    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        connect_timeout: float = 30.0,
+        protocol: "int | None" = None,
+        plane: "str | None" = None,
+        worker_protocol: "int | None" = None,
+    ) -> None:
+        super().__init__(protocol=protocol, plane=plane)
         self.host = host
         self.connect_timeout = float(connect_timeout)
+        self.worker_protocol = worker_protocol
         self._listener: "socket.socket | None" = None
+
+    def negotiated(self) -> "tuple[int, str | None]":
+        version, plane = super().negotiated()
+        if version >= 2:
+            plane = arrayplane.PLANE_INLINE  # no shared /dev/shm over TCP
+        return version, plane
 
     def _ensure_listener(self) -> socket.socket:
         if self._listener is None:
@@ -374,9 +539,15 @@ class TcpTransport(Transport):
         port = listener.getsockname()[1]
         # repro-analysis: allow=REP-D105 handshake secret — authenticates the connect-back socket, never flows into any artefact or RNG stream
         secret = os.urandom(16)
+        version, plane = self.negotiated()
+        advertise = (
+            version if self.worker_protocol is None else int(self.worker_protocol)
+        )
         context = multiprocessing.get_context("fork")
         process = context.Process(
-            target=_tcp_worker_entry, args=(self.host, port, secret), daemon=True
+            target=_tcp_worker_entry,
+            args=(self.host, port, secret, advertise),
+            daemon=True,
         )
         process.start()
         deadline = time.monotonic() + self.connect_timeout
@@ -395,14 +566,31 @@ class TcpTransport(Transport):
             except (EOFError, OSError):
                 conn.close()
                 continue
-            if hello == ("hello", secret):
+            authenticated = (
+                isinstance(hello, tuple)
+                and len(hello) in (2, 3)
+                and hello[0] == "hello"
+                and hello[1] == secret
+            )
+            if authenticated:
                 conn.settimeout(None)
                 try:
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 except OSError:  # pragma: no cover - exotic platforms
                     pass
+                codec = None
+                if len(hello) == 3:
+                    # The worker negotiates: meet at the lower version.
+                    # A 2-tuple hello is a v1 worker and gets no welcome
+                    # frame (it would misread one as a task message).
+                    agreed = min(int(hello[2]), version)
+                    if agreed >= 2:
+                        send_frame(conn, ("welcome", 2, plane, None))
+                        codec = arrayplane.scheduler_codec(2, plane)
+                    else:
+                        send_frame(conn, ("welcome", 1, None, None))
                 _PARENT_SOCKETS.add(conn)
-                return process, conn
+                return process, Channel(conn, codec)
             # A stale or foreign connection: drop it and keep waiting for
             # the worker that knows this spawn's secret.
             conn.close()
@@ -419,7 +607,9 @@ class TcpTransport(Transport):
 
     def describe(self) -> str:
         port = self.port
-        return f"tcp({self.host}:{port})" if port else f"tcp({self.host})"
+        label = f"tcp({self.host}:{port})" if port else f"tcp({self.host})"
+        version, plane = self.negotiated()
+        return label if version < 2 else f"{label}+{plane}"
 
 
 #: Registry of selectable transports, keyed by the names accepted from the

@@ -59,13 +59,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.analysis.sanitize import map_boundary
+from repro.exec import arrayplane
 from repro.exec.transport import (
     LIFECYCLE_LOCK,
     _IMAGE_ITEMS,
     _IMAGE_TASKS,
-    recv_frame,
     resolve_transport,
-    send_frame,
 )
 
 #: Task-token source shared by every host (tokens are process-global because
@@ -124,7 +123,7 @@ def _reap_fleet_at_gc(daemons: dict, token_box: list, transport) -> None:
     """
     for daemon in list(daemons.values()):
         try:
-            send_frame(daemon.conn, ("stop",))
+            daemon.conn.send(("stop",))
         except OSError:
             pass
         try:
@@ -135,6 +134,7 @@ def _reap_fleet_at_gc(daemons: dict, token_box: list, transport) -> None:
         if daemon.process.is_alive():
             daemon.process.terminate()
             daemon.process.join(timeout=2.0)
+        arrayplane.reap_worker_segments(daemon.conn.worker_prefix)
     daemons.clear()
     token = token_box[0]
     token_box[0] = None
@@ -144,6 +144,10 @@ def _reap_fleet_at_gc(daemons: dict, token_box: list, transport) -> None:
         transport.close()
     except OSError:  # pragma: no cover - listener already closed
         pass
+
+
+def _discard_buffer(buffer) -> None:
+    """``buffer_callback`` of the picklability probe: drop the bytes."""
 
 
 class WorkerTaskError(RuntimeError):
@@ -361,11 +365,12 @@ class WorkerHost:
             except OSError:  # pragma: no cover - already closed
                 pass
             daemon.process.join(timeout=0.5)
+            arrayplane.reap_worker_segments(daemon.conn.worker_prefix)
             del self._daemons[worker_id]
 
     def _dispose_daemon(self, daemon: _Daemon) -> None:
         try:
-            send_frame(daemon.conn, ("stop",))
+            daemon.conn.send(("stop",))
         except OSError:
             pass
         try:
@@ -376,6 +381,9 @@ class WorkerHost:
         if daemon.process.is_alive():
             daemon.process.terminate()
             daemon.process.join(timeout=2.0)
+        # Whatever transfer blocks the worker created but never delivered
+        # are orphans now that the process is gone; reap its namespace.
+        arrayplane.reap_worker_segments(daemon.conn.worker_prefix)
 
     def _dispose_fleet(self) -> None:
         """Tear the persistent fleet down (task registration kept)."""
@@ -427,7 +435,15 @@ class WorkerHost:
             return [], report
         try:
             items_payload_ok = True
-            pickle.dumps(items)
+            # Picklability probe only — out-of-band buffers are discarded
+            # unread, so array-heavy item lists are classified without
+            # materialising a copy of their payload bytes (the dispatch
+            # path re-pickles per shard with the negotiated codec anyway).
+            pickle.dumps(
+                items,
+                protocol=pickle.HIGHEST_PROTOCOL,
+                buffer_callback=_discard_buffer,
+            )
         except Exception:
             items_payload_ok = False
         # Serialise whole maps end to end: the fork-inherited registries
@@ -501,6 +517,13 @@ class WorkerHost:
         failure: "BaseException | None" = None
         dispatch_started: dict = {}  # (shard index, worker id) -> perf_counter
         completed_durations: list = []  # (shard index, wall seconds) accepted
+        # (shard index, worker id) -> pooled segment names pinned for that
+        # dispatch (v2 shm plane only).  A pin lives exactly as long as
+        # the dispatch: released when its reply arrives, its worker dies,
+        # or the map ends — only then may the pool recycle the block, so a
+        # worker still chewing a speculative duplicate can never see its
+        # items overwritten by a later dispatch.
+        dispatch_pins: dict = {}
         view = SchedulerView(
             shard_by_index=shard_by_index,
             completed=completed,
@@ -541,21 +564,30 @@ class WorkerHost:
                     and not one_shot
                     and token not in daemon.shipped_tokens
                 ):
-                    send_frame(daemon.conn, ("task", token, self._task_payload))
+                    daemon.conn.send(("task", token, self._task_payload))
                     # Only the newest token can still be dispatched to this
                     # daemon (and the daemon likewise dropped older
                     # callables on receipt), so the set never grows.
                     daemon.shipped_tokens = {token}
-                send_frame(daemon.conn, shard_frame(shard))
+                daemon.conn.send(shard_frame(shard))
             except OSError:
                 # The daemon died while idle (its EOF may still be queued in
                 # the selector); requeue the shard and repair the fleet
-                # instead of crashing the map.
+                # instead of crashing the map.  A failed send released its
+                # own pooled pins inside the codec.
                 on_death(daemon)
                 return
+            pins = daemon.conn.take_pins()
+            if pins:
+                dispatch_pins[(shard.index, daemon.worker_id)] = pins
             report.dispatched += 1
             if speculative:
                 report.speculative += 1
+
+        def release_pins(key) -> None:
+            names = dispatch_pins.pop(key, None)
+            if names:
+                arrayplane.release_segments(names)
 
         def retire(daemon: _Daemon, requeue: bool) -> None:
             if daemon.worker_id not in daemons:
@@ -568,6 +600,7 @@ class WorkerHost:
                 return
             in_flight[shard.index].discard(daemon.worker_id)
             dispatch_started.pop((shard.index, daemon.worker_id), None)
+            release_pins((shard.index, daemon.worker_id))
             if (
                 requeue
                 and shard.index not in completed
@@ -596,6 +629,10 @@ class WorkerHost:
             report.deaths += 1
             retire(daemon, requeue=True)
             daemon.process.join(timeout=0.5)
+            # A worker SIGKILLed mid-shard may have created transfer
+            # blocks it never got to name in a frame; its prefix is dead
+            # with it, so everything still linked there is an orphan.
+            arrayplane.reap_worker_segments(daemon.conn.worker_prefix)
             if len(completed) < len(shards) and respawn_budget > 0:
                 respawn_budget -= 1
                 dispatch(spawn())
@@ -637,9 +674,10 @@ class WorkerHost:
                     if daemon.worker_id not in daemons:
                         continue  # retired earlier in this same event batch
                     try:
-                        message = recv_frame(daemon.conn)
+                        message = daemon.conn.recv()
                     except (EOFError, OSError):
-                        # Daemon death (killed, crashed, OOMed): requeue its
+                        # Daemon death (killed, crashed, OOMed) or a
+                        # poisoned stream (FrameProtocolError): requeue its
                         # shard and spawn a replacement within budget.
                         on_death(daemon)
                         continue
@@ -647,6 +685,7 @@ class WorkerHost:
                     if kind == "done":
                         _, shard_index, elapsed, shard_results = message
                         in_flight[shard_index].discard(daemon.worker_id)
+                        release_pins((shard_index, daemon.worker_id))
                         started = dispatch_started.pop(
                             (shard_index, daemon.worker_id), None
                         )
@@ -666,6 +705,7 @@ class WorkerHost:
                     elif kind == "fail":
                         _, shard_index, trace, exc_bytes = message
                         in_flight[shard_index].discard(daemon.worker_id)
+                        release_pins((shard_index, daemon.worker_id))
                         dispatch_started.pop((shard_index, daemon.worker_id), None)
                         if shard_index in completed or in_flight[shard_index]:
                             # A duplicated attempt failed (e.g. memory
@@ -710,6 +750,13 @@ class WorkerHost:
                     daemons.pop(daemon.worker_id, None)
                     self._dispose_daemon(daemon)
             selector.close()
+            # Every pin not already released by a reply or a death belongs
+            # to a dispatch this map abandoned; the pool may recycle those
+            # blocks now.  Then probe-close adopted result mappings whose
+            # arrays have since been garbage-collected.
+            for key in list(dispatch_pins):
+                release_pins(key)
+            arrayplane.reclaim_segments()
 
         ordered = [None] * len(items)
         for shard in shards:

@@ -234,6 +234,40 @@ def run(host, items):
 '''
         assert rule_ids(source, path=PLAIN_PATH) == ["REP-F201"]
 
+    def test_shm_handle_in_shipped_closure_is_flagged(self):
+        # Transport-v2 bug class: a SharedMemory handle captured by a
+        # shipped task is a process-local resource — the fork-side dup
+        # double-closes the mapping and the worker may outlive the unlink.
+        source = '''
+from multiprocessing import shared_memory
+
+def run(backend, items):
+    block = shared_memory.SharedMemory(create=True, size=1 << 20)
+    return backend.map(lambda item: block.buf[item], items)
+'''
+        findings = lint(source, path=PLAIN_PATH)
+        assert [f.rule for f in findings] == ["REP-F201"]
+        assert "'block'" in findings[0].message
+
+    def test_shm_attached_inside_the_worker_is_clean(self):
+        # The known-good twin — and exactly how the array plane works:
+        # only the segment *name* crosses the closure; the worker attaches
+        # (and closes) its own handle.
+        source = '''
+from multiprocessing import shared_memory
+
+def run(backend, items, segment_name):
+    def task(item):
+        block = shared_memory.SharedMemory(name=segment_name)
+        try:
+            return bytes(block.buf[:item])
+        finally:
+            block.close()
+
+    return backend.map(task, items)
+'''
+        assert rule_ids(source, path=PLAIN_PATH) == []
+
     def test_closure_over_plain_data_is_clean(self):
         # The fork transport deliberately supports closures over plain
         # (even unpicklable-by-value) *data*; only resource state is flagged.

@@ -1,0 +1,537 @@
+"""Lifecycle tests for the v2 array plane (:mod:`repro.exec.arrayplane`).
+
+Pins the plane's resource contract end to end: pooled dispatch blocks are
+ref-counted and reused across maps, transfer blocks are unlinked at the
+moment of adoption (a name never outlives its frame), SIGKILLed workers
+leave zero orphaned segments (scheduler-side reaping by name prefix), a
+process that exits without ``shutdown()`` leaves ``/dev/shm`` clean via
+the atexit hook, and the codec degrades gracefully — inline segments when
+shared memory is unavailable, pins rolled back when a send fails.  The
+one-shot result-plane regression (worker seconds must credit the same
+StageTimer channel as the persistent path) lives here too.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ForkSocketpairTransport,
+    ProcessBackend,
+    Shard,
+    WorkerHost,
+    fork_available,
+)
+from repro.exec import arrayplane
+from repro.exec.arrayplane import (
+    ArrayPlaneCodec,
+    FrameProtocolError,
+    MAX_SEGMENTS_PER_FRAME,
+    NAME_ROOT,
+    PLANE_SHM,
+    SHM_MIN_BYTES,
+    SegmentPool,
+    SegmentWriter,
+    list_shm_names,
+    shm_available,
+)
+from repro.utils.timing import StageTimer
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="needs fork")
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no shared-memory support on this platform"
+)
+
+
+def one_item_shards(count: int) -> list:
+    return [Shard(index=i, item_indices=(i,), cost=1.0) for i in range(count)]
+
+
+@pytest.fixture
+def pool():
+    instance = SegmentPool()
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def prefix():
+    value = arrayplane.next_worker_prefix()
+    yield value
+    # Whatever a failing test leaves behind must not outlive it.
+    arrayplane.shared_pool().reap_prefix(value)
+
+
+# ---------------------------------------------------------------------------
+# Segment pool: refcounts, reuse, adoption, reaping, shutdown
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+class TestSegmentPool:
+    def test_allocate_pins_release_frees(self, pool):
+        name, view = pool.allocate(1024)
+        assert pool.refs(name) == 1
+        view[:5] = b"hello"
+        pool.pin(name)
+        assert pool.refs(name) == 2
+        pool.release(name)
+        assert pool.refs(name) == 1
+        view.release()
+        pool.release(name)
+        # At zero refs the block parks on the free list, still linked and
+        # still owned by the pool — ready for the next dispatch.
+        assert pool.refs(name) == 0
+        assert name in pool.pooled_names()
+        assert pool.stats()["free"] == 1
+
+    def test_release_is_idempotent_and_ignores_unknown_names(self, pool):
+        pool.release(f"{NAME_ROOT}-no-such-block")  # must not raise
+        name, view = pool.allocate(64)
+        view.release()
+        pool.release(name)
+        pool.release(name)  # double release: dispatch error + death event
+        assert pool.stats()["released"] == 1
+
+    def test_allocate_reuses_smallest_fitting_free_block(self, pool):
+        small_name, small = pool.allocate(64 << 10)
+        big_name, big = pool.allocate(256 << 10)
+        small.release()
+        big.release()
+        pool.release(small_name)
+        pool.release(big_name)
+        name, view = pool.allocate(32 << 10)
+        assert name == small_name  # 64 KiB fits; 256 KiB stays free
+        assert pool.stats()["reused"] == 1
+        assert pool.stats()["created"] == 2
+        view.release()
+        pool.release(name)
+
+    def test_adopt_unlinks_the_name_immediately(self, pool, prefix):
+        writer = SegmentWriter(prefix)
+        name, shm = writer.create(1 << 16)
+        shm.buf[:4] = b"abcd"
+        shm.close()
+        assert list_shm_names(prefix) == [name]
+        view = pool.adopt(name, 1 << 16)
+        # The name is gone from /dev/shm before the data is even read: a
+        # scheduler crash after this point cannot leak the segment.
+        assert list_shm_names(prefix) == []
+        assert bytes(view[:4]) == b"abcd"
+        # The mapping stays alive while a view exists; reclaim() frees it
+        # only once the last view is gone.
+        assert pool.reclaim() == 0
+        view.release()
+        assert pool.reclaim() == 1
+        assert pool.stats()["adopted_live"] == 0
+
+    def test_adopt_vanished_name_raises_frame_error(self, pool, prefix):
+        with pytest.raises(FrameProtocolError, match="vanished"):
+            pool.adopt(f"{prefix}s999", 64)
+
+    def test_reap_prefix_removes_unreceived_orphans(self, pool, prefix):
+        writer = SegmentWriter(prefix)
+        for _ in range(3):
+            _, shm = writer.create(4096)
+            shm.close()
+        assert len(list_shm_names(prefix)) == 3
+        assert pool.reap_prefix(prefix) == 3
+        assert list_shm_names(prefix) == []
+        assert pool.reap_prefix(prefix) == 0  # idempotent
+
+    def test_shutdown_unlinks_every_pooled_block(self):
+        pool = SegmentPool()
+        names = []
+        for _ in range(3):
+            name, view = pool.allocate(8 << 10)
+            view.release()
+            names.append(name)
+        for name in names:
+            pool.release(name)
+        pool.shutdown()
+        assert pool.pooled_names() == []
+        residue = set(list_shm_names(NAME_ROOT))
+        assert not residue & set(names)
+
+    def test_pool_is_inert_in_fork_children(self, pool):
+        # shared_pool() is pid-keyed: a fork child must get a fresh pool
+        # instead of unlinking blocks its parent still owns.
+        first = arrayplane.shared_pool()
+        assert arrayplane.shared_pool() is first
+        assert first._owner_pid == os.getpid()
+
+
+# ---------------------------------------------------------------------------
+# The v2 codec: round trips, zero-copy, caps, rollback
+# ---------------------------------------------------------------------------
+
+
+def _codec_pair(pool, prefix, use_shm=True):
+    scheduler = ArrayPlaneCodec("scheduler", use_shm=use_shm, pool=pool)
+    worker = ArrayPlaneCodec(
+        "worker", use_shm=use_shm,
+        writer=SegmentWriter(prefix) if use_shm else None,
+    )
+    return scheduler, worker
+
+
+@needs_shm
+class TestArrayPlaneCodec:
+    def test_scheduler_to_worker_rides_a_pooled_segment(self, pool, prefix):
+        scheduler, worker = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        try:
+            payload = np.arange(SHM_MIN_BYTES, dtype=np.uint8)
+            scheduler.send(a, ("shard", 7, payload))
+            message = worker.recv(b)
+            assert message[0] == "shard" and message[1] == 7
+            got = message[2]
+            assert got.tobytes() == payload.tobytes()
+            # Zero-copy receive: the worker's array views the shared
+            # mapping instead of owning a pickled copy of the bytes.
+            assert not got.flags["OWNDATA"]
+            pins = scheduler.take_pins()
+            assert len(pins) == 1 and pool.refs(pins[0]) == 1
+            # Mutating the pooled block is visible through the worker's
+            # array — the definitive one-mapping proof (private access is
+            # fine here; the test pins the mechanism itself).
+            pool._pooled[pins[0]].shm.buf[0] = 0xA5
+            assert got[0] == 0xA5
+            del got, message
+            worker.close()
+            for name in pins:
+                pool.release(name)
+        finally:
+            a.close()
+            b.close()
+
+    def test_worker_to_scheduler_transfer_is_adopted(self, pool, prefix):
+        scheduler, worker = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        try:
+            payload = np.linspace(0.0, 1.0, 40_000)  # 312 KiB
+            worker.send(a, ("done", 3, 0.01, payload))
+            assert list_shm_names(prefix)  # in flight: block is linked
+            message = scheduler.recv(b)
+            got = message[3]
+            assert got.tobytes() == payload.tobytes()
+            assert not got.flags["OWNDATA"]
+            # Adoption unlinked the name the moment the frame landed.
+            assert list_shm_names(prefix) == []
+            assert pool.stats()["adopted"] == 1
+            del got, message
+            assert pool.reclaim() == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_small_buffers_stay_inline(self, pool, prefix):
+        scheduler, worker = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        try:
+            payload = np.arange(16, dtype=np.float64)  # far below the floor
+            scheduler.send(a, ("shard", 0, payload))
+            message = worker.recv(b)
+            assert message[2].tobytes() == payload.tobytes()
+            assert scheduler.take_pins() == []
+            assert pool.stats()["created"] == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_inline_plane_round_trips_large_arrays(self, pool, prefix):
+        # use_shm=False is the negotiated TCP plane: raw length-prefixed
+        # segments on the stream.  Large payloads need a pumping thread —
+        # the bytes genuinely cross the socket.
+        scheduler, worker = _codec_pair(pool, prefix, use_shm=False)
+        a, b = socket.socketpair()
+        payload = np.arange(300_000, dtype=np.float64)  # 2.3 MB
+        received = {}
+
+        def pump():
+            received["message"] = worker.recv(b)
+
+        thread = threading.Thread(target=pump)
+        thread.start()
+        try:
+            scheduler.send(a, ("shard", 1, payload))
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert received["message"][2].tobytes() == payload.tobytes()
+            assert pool.stats()["created"] == 0  # no shm on this plane
+        finally:
+            a.close()
+            b.close()
+
+    def test_segment_kind_is_role_checked(self, pool, prefix):
+        # A transfer segment arriving at a worker (or a pooled segment at
+        # the scheduler) is a protocol violation, not a lookup attempt.
+        scheduler, worker = _codec_pair(pool, prefix)
+        other_worker = ArrayPlaneCodec(
+            "worker", use_shm=True, writer=SegmentWriter(prefix)
+        )
+        a, b = socket.socketpair()
+        try:
+            payload = np.arange(SHM_MIN_BYTES, dtype=np.uint8)
+            worker.send(a, ("done", 0, 0.0, payload))
+            with pytest.raises(FrameProtocolError, match="sent to a worker"):
+                other_worker.recv(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_forged_segment_count_is_capped(self, pool, prefix):
+        scheduler, _ = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        try:
+            a.sendall(arrayplane._V2_HEADER.pack(4, MAX_SEGMENTS_PER_FRAME + 1))
+            with pytest.raises(FrameProtocolError, match="segments"):
+                scheduler.recv(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_failed_send_rolls_back_pins(self, pool, prefix):
+        scheduler, _ = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        a.close()  # dead socket: sendall must fail after allocation
+        try:
+            payload = np.arange(SHM_MIN_BYTES, dtype=np.uint8)
+            with pytest.raises(OSError):
+                scheduler.send(a, ("shard", 0, payload))
+            # The pooled block went back to the free list; nothing stayed
+            # pinned for a frame the peer never saw.
+            assert scheduler.take_pins() == []
+            stats = pool.stats()
+            assert stats["created"] == 1 and stats["free"] == 1
+        finally:
+            b.close()
+
+    def test_unpicklable_message_allocates_nothing(self, pool, prefix):
+        scheduler, _ = _codec_pair(pool, prefix)
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(Exception):
+                scheduler.send(
+                    a, ("bad", threading.Lock(), np.arange(SHM_MIN_BYTES))
+                )
+            # Pickle-first ordering: the failure surfaced before any block
+            # was created, and the stream carries no torn frame.
+            assert pool.stats()["created"] == 0
+            scheduler.send(a, ("ok",))
+            worker = ArrayPlaneCodec("worker", use_shm=False)
+            assert worker.recv(b) == ("ok",)
+        finally:
+            a.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# End to end: maps over the shm plane, SIGKILL reaping, exit hygiene
+# ---------------------------------------------------------------------------
+
+
+def _array_result_task(x):
+    base = np.arange(32_000, dtype=np.float64)  # 250 KiB result
+    return np.cos(base * (x + 1) * 1e-4)
+
+
+def _kill_once_then_array(x, sentinel=None):
+    if x == 0:
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass  # the re-dispatched item after the first victim died
+        else:
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _array_result_task(x)
+
+
+@needs_fork
+@needs_shm
+class TestShmPlaneEndToEnd:
+    def test_map_rides_transfer_segments_and_leaves_no_residue(self):
+        pool = arrayplane.shared_pool()
+        adopted_before = pool.stats()["adopted"]
+        host = WorkerHost(
+            transport=ForkSocketpairTransport(protocol=2, plane=PLANE_SHM),
+            workers=2,
+        )
+        try:
+            results, _ = host.run(
+                _array_result_task, list(range(8)), one_item_shards(8)
+            )
+            reference = [_array_result_task(x) for x in range(8)]
+            for got, want in zip(results, reference):
+                assert got.tobytes() == want.tobytes()
+            # Results arrived as adopted transfer segments, viewed in
+            # place rather than copied out of a pickled payload.
+            assert pool.stats()["adopted"] > adopted_before
+            assert any(not r.flags["OWNDATA"] for r in results)
+        finally:
+            host.shutdown()
+        del results, reference
+        arrayplane.reclaim_segments()
+        # Retired workers' transfer namespaces were reaped; adopted names
+        # were unlinked at adoption — the worker plane leaves no residue.
+        assert list_shm_names(f"{NAME_ROOT}{os.getpid()}w") == []
+
+    def test_sigkill_mid_map_reaps_and_stays_bit_identical(self, tmp_path):
+        host = WorkerHost(
+            transport=ForkSocketpairTransport(protocol=2, plane=PLANE_SHM),
+            workers=2,
+        )
+        task = functools.partial(
+            _kill_once_then_array, sentinel=str(tmp_path / "victim")
+        )
+        try:
+            results, _ = host.run(task, list(range(8)), one_item_shards(8))
+            reference = [_array_result_task(x) for x in range(8)]
+            for got, want in zip(results, reference):
+                assert got.tobytes() == want.tobytes()
+            assert host.worker_deaths >= 1
+        finally:
+            host.shutdown()
+        # The acceptance pin: the SIGKILLed worker's segments (including
+        # any transfer block created but never received) were reaped by
+        # prefix on the scheduler side — zero orphans.
+        assert list_shm_names(f"{NAME_ROOT}{os.getpid()}w") == []
+
+    def test_exit_without_shutdown_leaves_dev_shm_clean(self):
+        # A scheduler that exits without host.shutdown() must still leave
+        # /dev/shm empty: the atexit hooks reap the fleet, the worker
+        # prefixes and the pooled blocks.
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        child = """
+import os
+import numpy as np
+from repro.exec import Shard, WorkerHost
+from repro.exec.arrayplane import PLANE_SHM
+from repro.exec.transport import ForkSocketpairTransport
+
+def task(x):
+    return np.arange(40_000, dtype=np.float64) * x
+
+host = WorkerHost(
+    transport=ForkSocketpairTransport(protocol=2, plane=PLANE_SHM), workers=2
+)
+shards = [Shard(index=i, item_indices=(i,), cost=1.0) for i in range(6)]
+results, _ = host.run(task, list(range(6)), shards)
+assert len(results) == 6
+print(os.getpid())
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src
+        completed = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        child_pid = int(completed.stdout.strip().splitlines()[-1])
+        assert list_shm_names(f"{NAME_ROOT}{child_pid}") == []
+        # Leak warnings from the stdlib resource tracker would mean the
+        # plane's tracker bookkeeping regressed.
+        assert "resource_tracker" not in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_pooled_blocks_are_reused_across_consecutive_maps(self):
+        host = WorkerHost(
+            transport=ForkSocketpairTransport(protocol=2, plane=PLANE_SHM),
+            workers=2,
+        )
+        pool = arrayplane.shared_pool()
+        try:
+            # Items large enough to dispatch through pooled segments.
+            items = [np.full(40_000, float(i)) for i in range(6)]
+            before = pool.stats()
+            first, _ = host.run(_item_sum, items, one_item_shards(6))
+            second, _ = host.run(_item_sum, items, one_item_shards(6))
+            assert first == second == [float(v.sum()) for v in items]
+            after = pool.stats()
+            # The second map allocated from the free list instead of
+            # creating fresh blocks for every dispatch.
+            assert after["reused"] > before["reused"]
+        finally:
+            host.shutdown()
+
+
+def _item_sum(arr):
+    return float(arr.sum())
+
+
+# ---------------------------------------------------------------------------
+# One-shot maps: same result plane, same timer channel (regression)
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestOneShotResultPlane:
+    def test_one_shot_report_counts_accepted_seconds(self):
+        host = WorkerHost(transport="fork", workers=2)
+        try:
+            lock = threading.Lock()  # unpicklable: forces the one-shot path
+            items = [(lock, value) for value in range(4)]
+            results, report = host.run(
+                lambda item: item[1] * 2, items, one_item_shards(4)
+            )
+            assert results == [0, 2, 4, 6]
+            assert report.one_shot
+            assert report.accepted_seconds > 0.0
+        finally:
+            host.shutdown()
+
+    def test_one_shot_map_credits_the_same_timer_channel(self):
+        # Regression: the one-shot fallback must report worker seconds
+        # through the same StageTimer channel as the persistent path — a
+        # pipeline whose profile maps are all one-shot (the default) would
+        # otherwise show zero worker time for its heaviest stage.
+        backend = ProcessBackend(workers=2, transport="fork")
+        try:
+            lock = threading.Lock()
+            items = [(lock, value) for value in range(4)]
+            timer = StageTimer()
+            results = backend.map(
+                lambda item: item[1] * 3, items, timer=timer, stage="profile"
+            )
+            assert results == [0, 3, 6, 9]
+            assert timer.worker_as_dict().get("profile", 0.0) > 0.0
+        finally:
+            backend.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Knob plumbing and availability probes
+# ---------------------------------------------------------------------------
+
+
+class TestKnob:
+    def test_plane_knob_normalisation(self, monkeypatch):
+        for spelling in ("off", "0", "false", "v1", "OFF"):
+            monkeypatch.setenv("REPRO_TRANSPORT_SHM", spelling)
+            assert arrayplane.plane_knob() == "off"
+            assert arrayplane.frame_protocol_version() == 1
+        monkeypatch.setenv("REPRO_TRANSPORT_SHM", "inline")
+        assert arrayplane.plane_knob() == "inline"
+        assert arrayplane.frame_protocol_version() == 2
+        monkeypatch.delenv("REPRO_TRANSPORT_SHM")
+        assert arrayplane.plane_knob() == "auto"
+
+    def test_worker_prefixes_are_unique_and_rooted(self):
+        first = arrayplane.next_worker_prefix()
+        second = arrayplane.next_worker_prefix()
+        assert first != second
+        assert first.startswith(NAME_ROOT) and second.startswith(NAME_ROOT)
+        assert str(os.getpid()) in first

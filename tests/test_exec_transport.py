@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 import signal
 import socket
+import struct
 import threading
 import time
 
@@ -33,6 +34,14 @@ from repro.exec import (
     WorkerTaskError,
     fork_available,
     resolve_transport,
+)
+from repro.exec.arrayplane import (
+    FrameProtocolError,
+    MAX_FRAME_BYTES,
+    NAME_ROOT,
+    PLANE_INLINE,
+    PLANE_SHM,
+    shm_available,
 )
 from repro.exec.transport import recv_frame, send_frame
 
@@ -77,6 +86,24 @@ class TestFrameProtocol:
         finally:
             a.close()
             b.close()
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        # Regression: a corrupt or hostile 8-byte prefix used to drive a
+        # near-2**64-byte allocation attempt; it must fail fast instead.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("<Q", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameProtocolError, match="cap"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_error_is_a_connection_error(self):
+        # Every dispatch loop treats (EOFError, OSError) as worker death;
+        # protocol violations must flow through the same handling.
+        assert issubclass(FrameProtocolError, ConnectionError)
+        assert issubclass(FrameProtocolError, OSError)
 
 
 # ---------------------------------------------------------------------------
@@ -381,3 +408,160 @@ class TestClusterDaemonReuse:
             assert backend.stats.worker_deaths >= 1
         finally:
             backend.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol v2: negotiation
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolNegotiation:
+    def test_knob_off_negotiates_v1_everywhere(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_SHM", "off")
+        assert ForkSocketpairTransport().negotiated() == (1, None)
+        assert TcpTransport().negotiated() == (1, None)
+        assert ForkSocketpairTransport().describe() == "fork"
+
+    def test_knob_inline_forces_bytes_on_wire_segments(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT_SHM", "inline")
+        assert ForkSocketpairTransport().negotiated() == (2, PLANE_INLINE)
+
+    def test_explicit_protocol_overrides_the_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT_SHM", raising=False)
+        assert ForkSocketpairTransport(protocol=1).negotiated() == (1, None)
+        assert TcpTransport(protocol=1).negotiated() == (1, None)
+
+    def test_fork_defaults_to_shm_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT_SHM", raising=False)
+        version, plane = ForkSocketpairTransport().negotiated()
+        assert version == 2
+        assert plane == (PLANE_SHM if shm_available() else PLANE_INLINE)
+
+    def test_tcp_never_negotiates_shared_memory(self):
+        # Even an explicit plane request degrades: a remote worker has no
+        # common /dev/shm, so the TCP stream always carries raw segments.
+        version, plane = TcpTransport(protocol=2, plane=PLANE_SHM).negotiated()
+        assert (version, plane) == (2, PLANE_INLINE)
+
+    def test_describe_names_the_negotiated_plane(self):
+        transport = ForkSocketpairTransport(protocol=2, plane=PLANE_INLINE)
+        assert transport.describe() == "fork+inline"
+
+
+@needs_fork
+class TestProtocolInterop:
+    def test_tcp_hello_arity_negotiates_both_versions(self):
+        # A v1-advertising worker sends the classic 2-tuple hello and gets
+        # no welcome frame; a v2-capable worker negotiates up.
+        for worker_protocol, expected in ((1, 1), (None, 2)):
+            transport = TcpTransport(
+                protocol=2, worker_protocol=worker_protocol
+            )
+            process, channel = transport.spawn_worker()
+            try:
+                assert channel.version == expected
+                channel.send(("stop",))
+                process.join(timeout=5.0)
+            finally:
+                channel.close()
+                transport.close()
+                if process.is_alive():  # pragma: no cover - failure path
+                    process.terminate()
+                    process.join(timeout=2.0)
+
+    def test_v1_daemons_serve_a_v2_scheduler(self):
+        # The interop contract: a fleet of old (v1-framed) daemons under a
+        # scheduler whose knob is on must run maps unchanged.
+        transport = TcpTransport(protocol=2, worker_protocol=1)
+        host = WorkerHost(transport=transport, workers=2)
+        try:
+            results, _ = host.run(
+                _pid_task, list(range(6)), one_item_shards(6)
+            )
+            assert [v for _, v in results] == [x * 2 for x in range(6)]
+        finally:
+            host.shutdown()
+
+    def test_fork_shm_channel_carries_the_worker_prefix(self):
+        if not shm_available():
+            pytest.skip("no shared-memory support on this platform")
+        transport = ForkSocketpairTransport(protocol=2, plane=PLANE_SHM)
+        process, channel = transport.spawn_worker()
+        try:
+            assert channel.version == 2
+            assert channel.worker_prefix.startswith(NAME_ROOT)
+            channel.send(("stop",))
+            process.join(timeout=5.0)
+        finally:
+            channel.close()
+            if process.is_alive():  # pragma: no cover - failure path
+                process.terminate()
+                process.join(timeout=2.0)
+
+    def test_v1_channel_has_no_plane_state(self):
+        transport = ForkSocketpairTransport(protocol=1)
+        process, channel = transport.spawn_worker()
+        try:
+            assert channel.version == 1
+            assert channel.worker_prefix is None
+            assert channel.take_pins() == []
+            channel.send(("stop",))
+            process.join(timeout=5.0)
+        finally:
+            channel.close()
+            if process.is_alive():  # pragma: no cover - failure path
+                process.terminate()
+                process.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Parity matrix: {v1, v2} x {fork, tcp} x {1, 2, 5 workers}
+# ---------------------------------------------------------------------------
+
+
+def _golden_array_task(x):
+    """A pure, deterministic task whose result is large enough (187 KiB)
+    to ride the shared-memory plane when one is negotiated."""
+    base = np.arange(24_000, dtype=np.float64)
+    return np.sin(base * 1e-3) * float(x + 1)
+
+
+PARITY_MATRIX = [
+    (transport, protocol, workers)
+    for transport in BOTH_TRANSPORTS
+    for protocol in (1, 2)
+    for workers in (1, 2, 5)
+]
+
+
+@needs_fork
+class TestParityMatrix:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return [_golden_array_task(x) for x in range(9)]
+
+    @pytest.mark.parametrize(
+        "transport,protocol,workers", PARITY_MATRIX,
+        ids=[f"{t}-v{p}-w{w}" for t, p, w in PARITY_MATRIX],
+    )
+    def test_map_results_bit_identical_across_planes(
+        self, transport, protocol, workers, reference
+    ):
+        # The acceptance pin: the negotiated frame protocol and plane are
+        # pure carriers — every cell of the matrix returns byte-identical
+        # arrays in item order.
+        host = WorkerHost(
+            transport=TRANSPORTS[transport](protocol=protocol),
+            workers=workers,
+        )
+        try:
+            results, _ = host.run(
+                _golden_array_task, list(range(9)), one_item_shards(9)
+            )
+            assert len(results) == len(reference)
+            for got, want in zip(results, reference):
+                assert got.dtype == want.dtype
+                assert got.shape == want.shape
+                assert got.tobytes() == want.tobytes()
+        finally:
+            host.shutdown()
